@@ -1,0 +1,159 @@
+// Command fsanalyze runs the paper's Section-5 reference-pattern analysis
+// over one or more trace files and prints Tables III-V, the §3.1
+// inter-event intervals, the sharing extension, and Figures 1-4.
+//
+// Usage:
+//
+//	fsanalyze a5.trace e3.trace c4.trace
+//	fsanalyze -only tableV a5.trace
+//	fsanalyze -validate a5.trace
+//	fsanalyze -text c4.txt            # text-format input
+//	fsanalyze -top 10 a5.trace        # busiest files
+//	fsanalyze -from 1h -to 2h a5.trace  # analyze one window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/report"
+	"bsdtrace/internal/trace"
+)
+
+type options struct {
+	only     string
+	validate bool
+	text     bool
+	top      int
+	from, to time.Duration
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.only, "only", "", "print only one result: tableIII, tableIV, tableV, intervals, sharing, fig1..fig4")
+	flag.BoolVar(&opts.validate, "validate", false, "validate the trace(s) and exit")
+	flag.BoolVar(&opts.text, "text", false, "read the text trace format instead of binary")
+	flag.IntVar(&opts.top, "top", 0, "also list the N busiest files per trace")
+	flag.DurationVar(&opts.from, "from", 0, "analyze only events at or after this offset")
+	flag.DurationVar(&opts.to, "to", 0, "analyze only events before this offset (0 = end of trace)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fsanalyze [flags] trace.bin...")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Args(), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "fsanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string, text bool) ([]trace.Event, error) {
+	if text {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadText(f)
+	}
+	return trace.ReadFile(path)
+}
+
+func run(w io.Writer, paths []string, opts options) error {
+	tr := report.Traces{}
+	var allEvents [][]trace.Event
+	for _, path := range paths {
+		events, err := load(path, opts.text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if opts.from > 0 || opts.to > 0 {
+			to := trace.Time(opts.to.Milliseconds())
+			if opts.to == 0 && len(events) > 0 {
+				to = events[len(events)-1].Time + 1
+			}
+			events = trace.Window(events, trace.Time(opts.from.Milliseconds()), to)
+		}
+		if opts.validate {
+			errs, unclosed := trace.Validate(events)
+			for _, e := range errs {
+				fmt.Fprintf(w, "%s: %v\n", path, e)
+			}
+			fmt.Fprintf(w, "%s: %d events, %d validation errors, %d unclosed opens\n",
+				path, len(events), len(errs), unclosed)
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		tr.Names = append(tr.Names, name)
+		tr.Analyses = append(tr.Analyses, analyzer.Analyze(events, analyzer.Options{}))
+		allEvents = append(allEvents, events)
+	}
+	if opts.validate {
+		return nil
+	}
+
+	want := func(name string) bool {
+		return opts.only == "" || strings.EqualFold(opts.only, name)
+	}
+	if want("tableIII") {
+		report.TableIII(tr).Render(w)
+	}
+	if want("tableIV") {
+		report.TableIV(tr).Render(w)
+	}
+	if want("tableV") {
+		report.TableV(tr).Render(w)
+	}
+	if want("intervals") {
+		report.EventIntervalTable(tr).Render(w)
+	}
+	if want("sharing") {
+		report.SharingTable(tr).Render(w)
+	}
+	if want("fig1") {
+		for _, c := range report.Figure1(tr) {
+			c.Render(w)
+		}
+	}
+	if want("fig2") {
+		for _, c := range report.Figure2(tr) {
+			c.Render(w)
+		}
+	}
+	if want("fig3") {
+		report.Figure3(tr).Render(w)
+	}
+	if want("fig4") {
+		for _, c := range report.Figure4(tr) {
+			c.Render(w)
+		}
+	}
+
+	if opts.top > 0 {
+		for i, events := range allEvents {
+			t := &report.Table{
+				Title:  fmt.Sprintf("Busiest files in %s (top %d by opens+execs).", tr.Names[i], opts.top),
+				Header: []string{"File ID", "Opens", "Execs", "Bytes moved", "Last size", "Shared"},
+				Note: "Files are identified only by trace id, as in the 1985 traces. The " +
+					"megabyte-scale entries at the top are the administrative files of the " +
+					"paper's Figure 2 tail; the heavily executed ones are shared commands.",
+			}
+			for _, f := range analyzer.TopFiles(events, opts.top) {
+				shared := "no"
+				if f.Users > 1 {
+					shared = "yes"
+				}
+				t.AddRow(fmt.Sprintf("%d", f.File), report.Count(f.Opens), report.Count(f.Execs),
+					report.Count(f.Bytes), report.Size(f.LastSize), shared)
+			}
+			t.Render(w)
+		}
+	}
+	return nil
+}

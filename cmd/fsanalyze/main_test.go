@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+)
+
+func writeTestTrace(t *testing.T, text bool) string {
+	t.Helper()
+	res, err := workload.Generate(workload.Config{Profile: "C4", Seed: 8, Duration: 20 * trace.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c4.trace")
+	if text {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteText(f, res.Events); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	} else if err := trace.WriteFile(path, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalysis(t *testing.T) {
+	path := writeTestTrace(t, false)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{path}, options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table III.", "Table IV.", "Table V.", "Figure 3.", "Cross-user"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTextInput(t *testing.T) {
+	path := writeTestTrace(t, true)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{path}, options{text: true, only: "tableIII"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III.") {
+		t.Errorf("text input analysis failed:\n%s", buf.String())
+	}
+	// Binary loader on a text file errors cleanly.
+	if err := run(&buf, []string{path}, options{}); err == nil {
+		t.Errorf("binary loader accepted text input")
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	path := writeTestTrace(t, false)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{path}, options{validate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 validation errors") {
+		t.Errorf("validate output: %s", buf.String())
+	}
+}
+
+func TestRunTopFiles(t *testing.T) {
+	path := writeTestTrace(t, false)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{path}, options{only: "tableIII", top: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Busiest files") {
+		t.Errorf("top files table missing")
+	}
+}
+
+func TestRunWindow(t *testing.T) {
+	path := writeTestTrace(t, false)
+	var full, half bytes.Buffer
+	if err := run(&full, []string{path}, options{only: "tableIII"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&half, []string{path}, options{only: "tableIII", from: 5 * time.Minute, to: 15 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() == half.String() {
+		t.Errorf("windowing had no effect")
+	}
+	if !strings.Contains(half.String(), "Table III.") {
+		t.Errorf("windowed analysis failed")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"/nonexistent.trace"}, options{}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"4096": 4096,
+		"4K":   4096,
+		"4k":   4096,
+		"2M":   2 << 20,
+		"390K": 390 << 10,
+		" 1M ": 1 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "4G4", "K"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSweeps(t *testing.T) {
+	res, err := workload.Generate(workload.Config{Profile: "A5", Seed: 6, Duration: 15 * trace.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// runSweep writes to an *os.File; use a temp file and read it back.
+	for _, sweep := range []string{"tableVI", "tableVII", "fig7", "replacement", "flush", "stack"} {
+		f, err := os.Create(filepath.Join(t.TempDir(), sweep+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runSweep(f, res.Events, sweep); err != nil {
+			t.Fatalf("%s: %v", sweep, err)
+		}
+		f.Close()
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 100 {
+			t.Errorf("%s produced only %d bytes", sweep, len(data))
+		}
+		if strings.Contains(string(data), "NaN") {
+			t.Errorf("%s output contains NaN", sweep)
+		}
+	}
+	if err := runSweep(os.Stdout, res.Events, "nope"); err == nil {
+		t.Errorf("unknown sweep accepted")
+	}
+}

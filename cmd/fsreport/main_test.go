@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunFullReport drives the complete report path on short traces and
+// checks every section appears.
+func TestRunFullReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 20*time.Minute, 1, "", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I.", "Table III.", "Table IV.", "Table V.",
+		"Inter-event intervals", "Cross-user file sharing",
+		"Figure 1(a)", "Figure 2(a)", "Figure 3.", "Figure 4(b)",
+		"Table VI.", "Figure 5.", "Table VII.", "Figure 6.", "Figure 7.",
+		"Block residency", "Metadata I/O", "Disk space waste",
+		"Shared file server", "Diskless workstations", "Working set W(T)",
+		"Ablation A1.", "Ablation A2.", "Ablation A3.", "Ablation A4.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestRunOnly checks section filtering.
+func TestRunOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 10*time.Minute, 2, "tableV", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table V.") {
+		t.Errorf("tableV missing")
+	}
+	if strings.Contains(out, "Table VI.") || strings.Contains(out, "Figure 3.") {
+		t.Errorf("-only leaked other sections")
+	}
+}
+
+// TestRunDataExport writes the CSV data set.
+func TestRunDataExport(t *testing.T) {
+	dir := t.TempDir() + "/data"
+	var buf bytes.Buffer
+	if err := run(&buf, 10*time.Minute, 1, "tableIII", false, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 12 {
+		t.Errorf("only %d CSV files written", len(entries))
+	}
+}
+
+// TestRunDeterministic: same seed, same bytes.
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, 10*time.Minute, 3, "tableIV", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 10*time.Minute, 3, "tableIV", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("report not deterministic")
+	}
+}
+
+// TestRunStability exercises the seed-spread mode.
+func TestRunStability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStability(&buf, 10*time.Minute, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Seed stability", "whole-file read accesses", "mean ± sd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stability output missing %q", want)
+		}
+	}
+}

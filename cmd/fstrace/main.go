@@ -1,0 +1,104 @@
+// Command fstrace generates a synthetic 4.2 BSD file system trace using
+// one of the three machine profiles from the paper (A5, E3, C4) and writes
+// it in the binary trace format (or, with -text, the human-readable text
+// format).
+//
+// A comma-separated profile list generates each machine's trace and merges
+// them, with identifier remapping, into one stream — the shared file
+// server's view of the workload.
+//
+// Usage:
+//
+//	fstrace -profile A5 -duration 8h -seed 1 -o a5.trace
+//	fstrace -profile C4 -duration 2h -text -o c4.txt
+//	fstrace -profile A5,E3,C4 -o server.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "A5", "machine profile (A5, E3, or C4), or a comma-separated list to merge")
+		seed     = flag.Int64("seed", 1, "random seed (same seed, same trace)")
+		duration = flag.Duration("duration", 8*time.Hour, "simulated time span")
+		scale    = flag.Float64("scale", 1.0, "user population multiplier")
+		out      = flag.String("o", "trace.bin", "output file")
+		text     = flag.Bool("text", false, "write the text format instead of binary")
+		diurnal  = flag.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
+		quiet    = flag.Bool("q", false, "suppress the summary")
+	)
+	flag.Parse()
+
+	profiles := strings.Split(*profile, ",")
+	var res *workload.Result
+	var sources [][]trace.Event
+	for _, name := range profiles {
+		r, err := workload.Generate(workload.Config{
+			Profile:   strings.TrimSpace(name),
+			Seed:      *seed,
+			Duration:  trace.Time(duration.Milliseconds()),
+			UserScale: *scale,
+			Diurnal:   *diurnal,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fstrace:", err)
+			os.Exit(1)
+		}
+		res = r
+		sources = append(sources, r.Events)
+	}
+	if len(sources) > 1 {
+		res = &workload.Result{Events: trace.Merge(sources...), Profile: res.Profile}
+	}
+
+	if *text {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fstrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteText(f, res.Events); err != nil {
+			fmt.Fprintln(os.Stderr, "fstrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fstrace:", err)
+			os.Exit(1)
+		}
+	} else if err := trace.WriteFile(*out, res.Events); err != nil {
+		fmt.Fprintln(os.Stderr, "fstrace:", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		var c trace.Counts
+		for _, e := range res.Events {
+			c.Add(e)
+		}
+		if len(sources) > 1 {
+			fmt.Printf("wrote %s: %d merged profiles (%s), %v simulated each\n",
+				*out, len(sources), *profile, *duration)
+		} else {
+			fmt.Printf("wrote %s: profile %s (%s), %d users, %v simulated\n",
+				*out, res.Profile.Name, res.Profile.Machine, res.Profile.Users(), *duration)
+		}
+		fmt.Printf("%d events:", c.Total)
+		for k := trace.KindCreate; k <= trace.KindExec; k++ {
+			fmt.Printf(" %s %d (%.1f%%)", k, c.ByKind[k], 100*c.Fraction(k))
+		}
+		fmt.Println()
+		if len(sources) == 1 {
+			fmt.Printf("kernel moved %d bytes read, %d bytes written\n",
+				res.KernelStats.BytesRead, res.KernelStats.BytesWritten)
+		}
+	}
+}

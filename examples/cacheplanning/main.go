@@ -1,0 +1,84 @@
+// Cacheplanning sizes a file server's disk block cache the way the paper's
+// Section 6 suggests: sweep cache sizes and write policies over a trace of
+// the intended workload, then weigh disk I/O savings against the
+// crash-loss exposure of delaying writes.
+//
+//	go run ./examples/cacheplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bsdtrace/internal/cachesim"
+	"bsdtrace/internal/report"
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+)
+
+func main() {
+	// The server will host a CAD group: trace profile C4 (Ucbcad).
+	res, err := workload.Generate(workload.Config{
+		Profile:  "C4",
+		Seed:     3,
+		Duration: 4 * trace.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := res.Events
+
+	sizes := []int64{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	policies := []cachesim.PolicySpec{
+		{Name: "write-through", Write: cachesim.WriteThrough},
+		{Name: "30s flush", Write: cachesim.FlushBack, Interval: 30 * trace.Second},
+		{Name: "5min flush", Write: cachesim.FlushBack, Interval: 5 * trace.Minute},
+		{Name: "delayed", Write: cachesim.DelayedWrite},
+	}
+	sweep, err := cachesim.PolicySweep(events, 8192, sizes, policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title:  "Server cache plan: miss ratio by size and write policy (8-kbyte blocks, C4 workload)",
+		Header: []string{"Cache", "write-through", "30s flush", "5min flush", "delayed", "dirty>20min (delayed)"},
+	}
+	for i, cs := range sizes {
+		row := []string{report.Size(cs)}
+		for j := range policies {
+			row = append(row, report.Pct(sweep[i][j].MissRatio()))
+		}
+		row = append(row, report.Pct(sweep[i][3].ResidencyOver))
+		t.AddRow(row...)
+	}
+	t.Note = "The last column is the crash-exposure proxy the paper uses in §6.2: " +
+		"the fraction of blocks resident longer than 20 minutes under delayed-write."
+	t.Render(os.Stdout)
+
+	// Find the smallest cache within 10% of the 16MB delayed-write miss
+	// ratio: the knee of the curve.
+	best := sweep[len(sizes)-1][3].MissRatio()
+	knee := sizes[len(sizes)-1]
+	for i := range sizes {
+		if sweep[i][3].MissRatio() <= best*1.1+0.01 {
+			knee = sizes[i]
+			break
+		}
+	}
+	fmt.Printf("Recommendation: a %s cache captures nearly all of the benefit;\n", report.Size(knee))
+	fmt.Printf("use a 5-minute flush-back rather than pure delayed-write to bound crash loss\n")
+	fmt.Printf("(costing %.1f%% vs %.1f%% miss ratio at that size, per the sweep above),\n",
+		100*missAt(sweep, sizes, knee, 2), 100*missAt(sweep, sizes, knee, 3))
+	fmt.Printf("exactly the compromise the paper's conclusions recommend.\n")
+}
+
+func missAt(sweep [][]*cachesim.Result, sizes []int64, size int64, policy int) float64 {
+	for i, cs := range sizes {
+		if cs == size {
+			return sweep[i][policy].MissRatio()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module bsdtrace
+
+go 1.22

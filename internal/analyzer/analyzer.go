@@ -1,0 +1,506 @@
+// Package analyzer implements the reference-pattern analyses of Section 5
+// of the paper: overall trace statistics (Table III), system activity and
+// per-user throughput (Table IV), sequentiality of access (Table V),
+// sequential run lengths (Figure 1), dynamic file sizes (Figure 2), open
+// durations (Figure 3), and the lifetimes of newly written data (Figure 4).
+// It also measures the inter-event intervals that bound the accuracy of the
+// no-read-write tracing approach (§3.1).
+//
+// The analyzer consumes a time-ordered event stream; transfers are
+// reconstructed by the xfer package, so the analyzer and the cache
+// simulator agree about what was transferred and when.
+package analyzer
+
+import (
+	"io"
+
+	"bsdtrace/internal/stats"
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// Options configures an analysis. The zero value selects the paper's
+// parameters.
+type Options struct {
+	// LongInterval is the activity bucketing used for the "active over
+	// ten-minute intervals" rows of Table IV. Default 10 minutes.
+	LongInterval trace.Time
+	// ShortInterval is the fine activity bucketing. Default 10 seconds.
+	ShortInterval trace.Time
+}
+
+func (o *Options) fill() {
+	if o.LongInterval <= 0 {
+		o.LongInterval = 10 * trace.Minute
+	}
+	if o.ShortInterval <= 0 {
+		o.ShortInterval = 10 * trace.Second
+	}
+}
+
+// Overall mirrors Table III: one trace's headline numbers.
+type Overall struct {
+	// Duration is the time of the last event.
+	Duration trace.Time
+	// Counts tallies events by kind.
+	Counts trace.Counts
+	// EncodedSize is the size of the trace in the binary format, the
+	// analogue of the paper's "size of trace file" row.
+	EncodedSize int64
+	// BytesTransferred is the total reconstructed data volume, split by
+	// direction in BytesRead and BytesWritten.
+	BytesTransferred int64
+	BytesRead        int64
+	BytesWritten     int64
+	// UnclosedOpens counts opens still outstanding at the end of trace.
+	UnclosedOpens int
+}
+
+// ActivityRow is Table IV's measurements at one interval width.
+type ActivityRow struct {
+	// Interval is the bucketing width.
+	Interval trace.Time
+	// ActiveUsers summarizes the number of active users per interval
+	// (mean ± sd across all intervals in the trace).
+	ActiveUsers stats.Welford
+	// MaxActiveUsers is the greatest number of users active in any one
+	// interval.
+	MaxActiveUsers int
+	// PerUserThroughput summarizes bytes-per-second per active user,
+	// across all (interval, active user) pairs.
+	PerUserThroughput stats.Welford
+}
+
+// Activity mirrors Table IV.
+type Activity struct {
+	// TotalUsers is the number of distinct users over the life of the
+	// trace.
+	TotalUsers int
+	// AvgThroughput is total bytes transferred divided by trace duration.
+	AvgThroughput float64
+	// Long and Short are the ten-minute and ten-second interval rows.
+	Long, Short ActivityRow
+}
+
+// ModeClass indexes the three access classes of Table V.
+type ModeClass int
+
+// Access classes.
+const (
+	ClassReadOnly ModeClass = iota
+	ClassWriteOnly
+	ClassReadWrite
+	numClasses
+)
+
+// String names the class as the paper does.
+func (c ModeClass) String() string {
+	switch c {
+	case ClassReadOnly:
+		return "read-only"
+	case ClassWriteOnly:
+		return "write-only"
+	case ClassReadWrite:
+		return "read-write"
+	}
+	return "unknown"
+}
+
+func classOf(m trace.Mode) ModeClass {
+	switch m {
+	case trace.ReadOnly:
+		return ClassReadOnly
+	case trace.WriteOnly:
+		return ClassWriteOnly
+	default:
+		return ClassReadWrite
+	}
+}
+
+// Sequentiality mirrors Table V: counts of whole-file and sequential
+// accesses by access class, and the byte volumes moved by each kind.
+type Sequentiality struct {
+	// Accesses counts completed opens per class.
+	Accesses [numClasses]int64
+	// WholeFile counts accesses that transferred the entire file
+	// sequentially from beginning to end, per class.
+	WholeFile [numClasses]int64
+	// Sequential counts accesses whose bytes form a single sequential
+	// run (whole-file transfers plus one-initial-reposition accesses).
+	Sequential [numClasses]int64
+	// BytesTotal, BytesWholeFile, and BytesSequential are the data
+	// volumes moved by all, whole-file, and sequential accesses.
+	BytesTotal      int64
+	BytesWholeFile  int64
+	BytesSequential int64
+}
+
+// WholeFileFraction returns the fraction of class-c accesses that were
+// whole-file transfers.
+func (s *Sequentiality) WholeFileFraction(c ModeClass) float64 {
+	if s.Accesses[c] == 0 {
+		return 0
+	}
+	return float64(s.WholeFile[c]) / float64(s.Accesses[c])
+}
+
+// SequentialFraction returns the fraction of class-c accesses that were
+// sequential.
+func (s *Sequentiality) SequentialFraction(c ModeClass) float64 {
+	if s.Accesses[c] == 0 {
+		return 0
+	}
+	return float64(s.Sequential[c]) / float64(s.Accesses[c])
+}
+
+// Sharing measures cross-user file sharing, a question the paper's
+// related-work section raises (Porcar studied only shared files, under 10%
+// of his system's files). A file is shared when more than one user opens
+// or executes it during the trace; daemons (user 0) count like any user.
+type Sharing struct {
+	// FilesAccessed counts distinct files opened, created, or executed;
+	// FilesShared those touched by more than one user.
+	FilesAccessed int64
+	FilesShared   int64
+	// AccessesTotal counts opens, creates, and execs; AccessesToShared
+	// those landing on shared files.
+	AccessesTotal    int64
+	AccessesToShared int64
+}
+
+// SharedFileFraction returns the fraction of accessed files that were
+// shared between users.
+func (s *Sharing) SharedFileFraction() float64 {
+	if s.FilesAccessed == 0 {
+		return 0
+	}
+	return float64(s.FilesShared) / float64(s.FilesAccessed)
+}
+
+// SharedAccessFraction returns the fraction of accesses that went to
+// shared files.
+func (s *Sharing) SharedAccessFraction() float64 {
+	if s.AccessesTotal == 0 {
+		return 0
+	}
+	return float64(s.AccessesToShared) / float64(s.AccessesTotal)
+}
+
+// Lifetimes holds the Figure 4 results.
+type Lifetimes struct {
+	// ByFiles is the CDF of new-file lifetimes weighted by file count;
+	// ByBytes weights each file by the bytes written to it. Files still
+	// alive at the end of the trace are censored into the top bucket.
+	ByFiles, ByBytes stats.CDF
+	// NewFiles counts files born during the trace (created, or truncated
+	// to zero); DeadFiles counts those that also died during the trace.
+	NewFiles, DeadFiles int64
+}
+
+// Analysis bundles every Section-5 result for one trace.
+type Analysis struct {
+	Overall       Overall
+	Activity      Activity
+	Sequentiality Sequentiality
+
+	// RunLengthsByRuns and RunLengthsByBytes are Figure 1: cumulative
+	// distributions of sequential run length, weighted by run count and
+	// by bytes moved.
+	RunLengthsByRuns, RunLengthsByBytes stats.CDF
+	// FileSizesByFiles and FileSizesByBytes are Figure 2: dynamic file
+	// size at close, weighted by accesses and by bytes transferred.
+	FileSizesByFiles, FileSizesByBytes stats.CDF
+	// OpenTimes is Figure 3: how long files stay open.
+	OpenTimes stats.CDF
+	// Lifetimes is Figure 4.
+	Lifetimes Lifetimes
+	// EventIntervals is the §3.1 measurement: the gaps between
+	// successive trace events for the same open file, which bound the
+	// times at which transfers actually happened.
+	EventIntervals stats.CDF
+	// Sharing measures cross-user file sharing (an extension beyond the
+	// paper's own tables).
+	Sharing Sharing
+}
+
+// lifeState tracks one live "new file" for the lifetime analysis.
+type lifeState struct {
+	birth trace.Time
+	bytes int64
+}
+
+// fileShare tracks whether a file was touched by more than one user
+// without storing the full user set.
+type fileShare struct {
+	first    trace.UserID
+	users    int // 1 or 2 ("more than one")
+	accesses int64
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// activityAccum buckets user activity at one interval width.
+type activityAccum struct {
+	width   trace.Time
+	current int64                  // current interval index
+	users   map[trace.UserID]int64 // bytes per user this interval; presence == active
+	row     ActivityRow
+	started bool
+}
+
+func newActivityAccum(width trace.Time) *activityAccum {
+	return &activityAccum{width: width, users: make(map[trace.UserID]int64), row: ActivityRow{Interval: width}}
+}
+
+func (a *activityAccum) interval(t trace.Time) int64 { return int64(t / a.width) }
+
+// advance flushes completed intervals up to (not including) the interval
+// containing t.
+func (a *activityAccum) advance(t trace.Time) {
+	idx := a.interval(t)
+	if !a.started {
+		a.current = idx
+		a.started = true
+		return
+	}
+	for a.current < idx {
+		a.flush()
+		a.current++
+	}
+}
+
+func (a *activityAccum) flush() {
+	n := len(a.users)
+	a.row.ActiveUsers.Add(float64(n))
+	if n > a.row.MaxActiveUsers {
+		a.row.MaxActiveUsers = n
+	}
+	secs := a.width.Seconds()
+	for u, bytes := range a.users {
+		a.row.PerUserThroughput.Add(float64(bytes) / secs)
+		delete(a.users, u)
+	}
+}
+
+func (a *activityAccum) active(t trace.Time, u trace.UserID) {
+	a.advance(t)
+	if _, ok := a.users[u]; !ok {
+		a.users[u] = 0
+	}
+}
+
+func (a *activityAccum) bytes(t trace.Time, u trace.UserID, n int64) {
+	a.advance(t)
+	a.users[u] += n
+}
+
+// finish flushes the final partial interval.
+func (a *activityAccum) finish() {
+	if a.started {
+		a.flush()
+	}
+}
+
+// Analyze runs the full Section-5 analysis over a time-ordered trace.
+func Analyze(events []trace.Event, opts Options) *Analysis {
+	opts.fill()
+	an := &Analysis{}
+
+	// Histograms behind the CDFs. Bounds span the ranges the paper's
+	// figures cover, with log spacing (linear for lifetimes, where the
+	// 180-second daemon spike needs 1-second resolution).
+	runLenRuns := stats.NewLogHistogram(64, 1.3, 60) // bytes: 64 B .. ~400 MB
+	runLenBytes := stats.NewLogHistogram(64, 1.3, 60)
+	sizeFiles := stats.NewLogHistogram(64, 1.3, 60)
+	sizeBytes := stats.NewLogHistogram(64, 1.3, 60)
+	openTimes := stats.NewLogHistogram(0.01, 1.25, 70) // seconds: 10 ms .. ~60 ks
+	lifeFiles := stats.NewLinearHistogram(600, 1)      // seconds, 1 s bins to 10 min
+	lifeBytes := stats.NewLinearHistogram(600, 1)
+	gaps := stats.NewLogHistogram(0.01, 1.25, 70) // seconds
+
+	longAcc := newActivityAccum(opts.LongInterval)
+	shortAcc := newActivityAccum(opts.ShortInterval)
+	usersSeen := make(map[trace.UserID]bool)
+	openUser := make(map[trace.OpenID]trace.UserID)
+	lives := make(map[trace.FileID]*lifeState)
+	shares := make(map[trace.FileID]*fileShare)
+
+	die := func(f trace.FileID, t trace.Time) {
+		st, ok := lives[f]
+		if !ok {
+			return
+		}
+		age := (t - st.birth).Seconds()
+		lifeFiles.Add(age, 1)
+		lifeBytes.Add(age, float64(st.bytes))
+		an.Lifetimes.DeadFiles++
+		delete(lives, f)
+	}
+
+	sc := xfer.NewScanner()
+	sc.OnTransfer = func(x xfer.Transfer) {
+		an.Overall.BytesTransferred += x.Length
+		if x.Write {
+			an.Overall.BytesWritten += x.Length
+		} else {
+			an.Overall.BytesRead += x.Length
+		}
+		runLenRuns.Add(float64(x.Length), 1)
+		runLenBytes.Add(float64(x.Length), float64(x.Length))
+		longAcc.bytes(x.Time, x.User, x.Length)
+		shortAcc.bytes(x.Time, x.User, x.Length)
+		if x.Write {
+			if st, ok := lives[x.File]; ok {
+				st.bytes += x.Length
+			}
+		}
+	}
+	sc.OnOpenEnd = func(o xfer.OpenSummary) {
+		c := classOf(o.Mode)
+		seq := &an.Sequentiality
+		seq.Accesses[c]++
+		seq.BytesTotal += o.Bytes
+		if o.WholeFile {
+			seq.WholeFile[c]++
+			seq.BytesWholeFile += o.Bytes
+		}
+		if o.Sequential {
+			seq.Sequential[c]++
+			seq.BytesSequential += o.Bytes
+		}
+		sizeFiles.Add(float64(o.SizeAtClose), 1)
+		sizeBytes.Add(float64(o.SizeAtClose), float64(o.Bytes))
+		openTimes.Add((o.CloseTime - o.OpenTime).Seconds(), 1)
+	}
+	sc.OnEventGap = func(g trace.Time) {
+		gaps.Add(g.Seconds(), 1)
+	}
+
+	counter := &countingWriter{}
+	enc := trace.NewWriter(counter)
+
+	for _, e := range events {
+		an.Overall.Counts.Add(e)
+		if e.Time > an.Overall.Duration {
+			an.Overall.Duration = e.Time
+		}
+		enc.Write(e)
+
+		// Sharing: record which users touch which files.
+		switch e.Kind {
+		case trace.KindCreate, trace.KindOpen, trace.KindExec:
+			sh := shares[e.File]
+			if sh == nil {
+				sh = &fileShare{first: e.User, users: 1}
+				shares[e.File] = sh
+			} else if sh.users == 1 && e.User != sh.first {
+				sh.users = 2
+			}
+			sh.accesses++
+		}
+
+		// Attribute the event to a user for the activity analysis.
+		var user trace.UserID
+		hasUser := false
+		switch e.Kind {
+		case trace.KindCreate, trace.KindOpen:
+			user, hasUser = e.User, true
+			openUser[e.OpenID] = e.User
+		case trace.KindExec:
+			user, hasUser = e.User, true
+		case trace.KindClose, trace.KindSeek:
+			if u, ok := openUser[e.OpenID]; ok {
+				user, hasUser = u, true
+			}
+			if e.Kind == trace.KindClose {
+				delete(openUser, e.OpenID)
+			}
+		}
+		if hasUser {
+			usersSeen[user] = true
+			longAcc.active(e.Time, user)
+			shortAcc.active(e.Time, user)
+		}
+
+		// Lifetime state machine (Figure 4): births at create and
+		// truncate-to-zero, deaths at unlink, overwrite, and truncation.
+		switch e.Kind {
+		case trace.KindCreate:
+			die(e.File, e.Time) // overwrite of previous incarnation
+			lives[e.File] = &lifeState{birth: e.Time}
+			an.Lifetimes.NewFiles++
+		case trace.KindTruncate:
+			if e.Size == 0 {
+				die(e.File, e.Time)
+				lives[e.File] = &lifeState{birth: e.Time}
+				an.Lifetimes.NewFiles++
+			}
+		case trace.KindUnlink:
+			die(e.File, e.Time)
+		}
+
+		sc.Feed(e)
+	}
+	an.Overall.UnclosedOpens = sc.Finish()
+	if err := enc.Flush(); err == nil {
+		an.Overall.EncodedSize = counter.n
+	}
+
+	// Censor survivors into the top bucket so the by-files and by-bytes
+	// CDFs are normalized over all new files, as Figure 4 is.
+	const censored = 1e18
+	for _, st := range lives {
+		lifeFiles.Add(censored, 1)
+		lifeBytes.Add(censored, float64(st.bytes))
+	}
+
+	longAcc.finish()
+	shortAcc.finish()
+	an.Activity.Long = longAcc.row
+	an.Activity.Short = shortAcc.row
+	an.Activity.TotalUsers = len(usersSeen)
+	if an.Overall.Duration > 0 {
+		an.Activity.AvgThroughput = float64(an.Overall.BytesTransferred) / an.Overall.Duration.Seconds()
+	}
+
+	for _, sh := range shares {
+		an.Sharing.FilesAccessed++
+		an.Sharing.AccessesTotal += sh.accesses
+		if sh.users > 1 {
+			an.Sharing.FilesShared++
+			an.Sharing.AccessesToShared += sh.accesses
+		}
+	}
+
+	an.RunLengthsByRuns = runLenRuns.CDF()
+	an.RunLengthsByBytes = runLenBytes.CDF()
+	an.FileSizesByFiles = sizeFiles.CDF()
+	an.FileSizesByBytes = sizeBytes.CDF()
+	an.OpenTimes = openTimes.CDF()
+	an.Lifetimes.ByFiles = lifeFiles.CDF()
+	an.Lifetimes.ByBytes = lifeBytes.CDF()
+	an.EventIntervals = gaps.CDF()
+	return an
+}
+
+// AnalyzeReader decodes a binary trace stream to completion and analyzes
+// it. It is the entry point the command-line tools use on trace files.
+func AnalyzeReader(r *trace.Reader, opts Options) (*Analysis, error) {
+	var events []trace.Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return Analyze(events, opts), nil
+}

@@ -1,0 +1,101 @@
+package analyzer
+
+import (
+	"sort"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// FileStat summarizes one file's activity over a trace: the raw material
+// for "which files are the hot ones" questions. The paper observed that a
+// few megabyte-scale administrative files absorb almost 20% of all
+// accesses (Figure 2); TopFiles makes such files visible individually.
+// Traces carry only file identifiers, as the 1985 traces did, so files
+// are reported by id plus their observable properties.
+type FileStat struct {
+	File trace.FileID
+	// Opens counts opens and creates; Execs counts execve events.
+	Opens int64
+	Execs int64
+	// Bytes is the total data transferred to or from the file.
+	Bytes int64
+	// LastSize is the file's size when last observed.
+	LastSize int64
+	// Users counts distinct users that touched the file (capped at 2
+	// plus: 1 means private, 2 means shared).
+	Users int
+}
+
+// Accesses returns opens plus execs.
+func (f *FileStat) Accesses() int64 { return f.Opens + f.Execs }
+
+// TopFiles returns per-file statistics for the n most-accessed files
+// (opens + execs), ties broken by bytes then id for determinism.
+func TopFiles(events []trace.Event, n int) []FileStat {
+	type acc struct {
+		stat  FileStat
+		first trace.UserID
+	}
+	m := make(map[trace.FileID]*acc)
+	get := func(f trace.FileID) *acc {
+		a := m[f]
+		if a == nil {
+			a = &acc{stat: FileStat{File: f}}
+			m[f] = a
+		}
+		return a
+	}
+	seen := func(a *acc, u trace.UserID) {
+		switch {
+		case a.stat.Users == 0:
+			a.stat.Users = 1
+			a.first = u
+		case a.stat.Users == 1 && u != a.first:
+			a.stat.Users = 2
+		}
+	}
+
+	sc := xfer.NewScanner()
+	sc.OnTransfer = func(t xfer.Transfer) {
+		get(t.File).stat.Bytes += t.Length
+	}
+	sc.OnOpenEnd = func(o xfer.OpenSummary) {
+		get(o.File).stat.LastSize = o.SizeAtClose
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindCreate, trace.KindOpen:
+			a := get(e.File)
+			a.stat.Opens++
+			seen(a, e.User)
+		case trace.KindExec:
+			a := get(e.File)
+			a.stat.Execs++
+			seen(a, e.User)
+			if e.Size > a.stat.LastSize {
+				a.stat.LastSize = e.Size
+			}
+		}
+		sc.Feed(e)
+	}
+	sc.Finish()
+
+	out := make([]FileStat, 0, len(m))
+	for _, a := range m {
+		out = append(out, a.stat)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses() != out[j].Accesses() {
+			return out[i].Accesses() > out[j].Accesses()
+		}
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].File < out[j].File
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

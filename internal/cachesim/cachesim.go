@@ -1,0 +1,496 @@
+// Package cachesim implements the trace-driven disk block cache simulator
+// of Section 6 of the paper.
+//
+// The simulated cache holds fixed-size blocks of file data, replaced LRU
+// (other policies are available as ablations). Reconstructed transfers are
+// divided into block accesses; a referenced block absent from the cache
+// costs a disk read unless the access is about to overwrite the block's
+// every valid byte, and modified blocks cost disk writes according to the
+// write policy:
+//
+//   - write-through: every modification writes the block to disk at once;
+//   - flush-back: the cache is scanned at a fixed interval and every block
+//     modified since the last scan is written (the paper evaluates 30-second
+//     and 5-minute intervals; the classic UNIX sync daemon is the 30-second
+//     point);
+//   - delayed-write: a dirty block is written only when it is ejected.
+//
+// Unlinks, truncations, and overwriting creates purge the dead blocks from
+// the cache; a dirty block that dies in the cache never reaches the disk at
+// all, which is the mechanism behind the paper's headline result that large
+// delayed-write caches eliminate most write traffic.
+//
+// The principal metric is the miss ratio: disk I/O operations divided by
+// logical block accesses (paper §6.1).
+package cachesim
+
+import (
+	"fmt"
+
+	"bsdtrace/internal/stats"
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// WritePolicy selects when modified blocks are written to disk.
+type WritePolicy uint8
+
+// Write policies (paper §6.2).
+const (
+	WriteThrough WritePolicy = iota
+	FlushBack
+	DelayedWrite
+)
+
+// String names the policy as the paper's Table VI does.
+func (p WritePolicy) String() string {
+	switch p {
+	case WriteThrough:
+		return "write-through"
+	case FlushBack:
+		return "flush-back"
+	case DelayedWrite:
+		return "delayed-write"
+	}
+	return "write-policy(?)"
+}
+
+// UnixCacheSize is the paper's "typical 4.2 BSD" configuration: about 10%
+// of a VAX's main memory, 390 kbytes.
+const UnixCacheSize = 390 * 1024
+
+// Config parameterizes one simulation.
+type Config struct {
+	// BlockSize is the cache block size in bytes (paper default 4096).
+	BlockSize int64
+	// CacheSize is the cache capacity in bytes; the block count is
+	// CacheSize/BlockSize, rounded down, minimum one block.
+	CacheSize int64
+	// Write is the write policy; FlushInterval applies to FlushBack.
+	Write         WritePolicy
+	FlushInterval trace.Time
+	// Replacement selects the eviction policy (default LRU, as in the
+	// paper).
+	Replacement Replacement
+	// Seed feeds the Random replacement policy.
+	Seed int64
+	// SimulatePaging approximates program loading by forcing a
+	// whole-file read of each executed file at exec time (Figure 7).
+	SimulatePaging bool
+	// NoPurge disables the removal of dead blocks on unlink, truncate,
+	// and overwrite; dirty dead blocks then get written at eviction as
+	// if they were live. Ablation A4: how much of delayed-write's win is
+	// death-before-ejection?
+	NoPurge bool
+	// BillAtStart bills each transfer at the beginning of its run
+	// (the open or previous seek) instead of the paper's choice of the
+	// ending event. Ablation A3: sensitivity to the no-read-write time
+	// imprecision.
+	BillAtStart bool
+	// ResidencyThreshold is the residency cutoff reported by
+	// Result.ResidencyOver (paper §6.2 reports blocks resident longer
+	// than 20 minutes). Default 20 minutes.
+	ResidencyThreshold trace.Time
+}
+
+func (c *Config) fill() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("cachesim: block size %d must be positive", c.BlockSize)
+	}
+	if c.CacheSize <= 0 {
+		return fmt.Errorf("cachesim: cache size %d must be positive", c.CacheSize)
+	}
+	if c.Write == FlushBack && c.FlushInterval <= 0 {
+		return fmt.Errorf("cachesim: flush-back needs a positive interval")
+	}
+	if c.ResidencyThreshold <= 0 {
+		c.ResidencyThreshold = 20 * trace.Minute
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Config Config
+	// LogicalAccesses counts block accesses; ReadAccesses and
+	// WriteAccesses split them by direction.
+	LogicalAccesses int64
+	ReadAccesses    int64
+	WriteAccesses   int64
+	// DiskReads counts block fetches from disk; DiskWrites counts block
+	// write-backs (or write-throughs).
+	DiskReads  int64
+	DiskWrites int64
+	// Evictions counts capacity evictions; Purged counts blocks removed
+	// because their data died; DirtyDiscarded counts purged blocks that
+	// were dirty — writes the disk never saw.
+	Evictions      int64
+	Purged         int64
+	DirtyDiscarded int64
+	// DirtyAtEnd counts blocks still dirty when the trace ended.
+	DirtyAtEnd int64
+	// Residency is the CDF of block cache residency times in seconds
+	// (blocks still cached at the end contribute their elapsed
+	// residency). ResidencyOver is the fraction resident longer than
+	// Config.ResidencyThreshold.
+	Residency     stats.CDF
+	ResidencyOver float64
+}
+
+// DiskIOs returns the total disk operations.
+func (r *Result) DiskIOs() int64 { return r.DiskReads + r.DiskWrites }
+
+// MissRatio returns disk I/Os per logical block access (paper §6.1), or 0
+// for an empty trace.
+func (r *Result) MissRatio() float64 {
+	if r.LogicalAccesses == 0 {
+		return 0
+	}
+	return float64(r.DiskIOs()) / float64(r.LogicalAccesses)
+}
+
+// WriteFraction returns the fraction of logical accesses that were writes
+// (the paper observes about one third).
+func (r *Result) WriteFraction() float64 {
+	if r.LogicalAccesses == 0 {
+		return 0
+	}
+	return float64(r.WriteAccesses) / float64(r.LogicalAccesses)
+}
+
+// NeverWrittenFraction returns the fraction of dirtied blocks whose data
+// died in the cache and so never reached the disk. Blocks still dirty at
+// the end of the trace count as eventual writes, so a big cache cannot
+// claim credit merely for outliving the trace. The paper reports about
+// 75% for a 16-Mbyte delayed-write cache.
+func (r *Result) NeverWrittenFraction() float64 {
+	total := r.DirtyDiscarded + r.DiskWrites + r.DirtyAtEnd
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DirtyDiscarded) / float64(total)
+}
+
+// blockKey identifies one cache block: a file and a block index within it.
+type blockKey struct {
+	file trace.FileID
+	idx  int64
+}
+
+// block is one cache frame. The intrusive fields (prev/next/slot/
+// referenced) belong to the replacement policy.
+type block struct {
+	key        blockKey
+	dirty      bool
+	enteredAt  trace.Time
+	prev, next *block
+	slot       int
+	referenced bool
+}
+
+// cache is the live simulation state.
+type cache struct {
+	cfg      Config
+	capacity int
+	res      *Result
+
+	blocks map[blockKey]*block
+	byFile map[trace.FileID]map[int64]*block
+	pol    replacer
+
+	sizes     map[trace.FileID]int64
+	now       trace.Time
+	nextFlush trace.Time
+	// onDisk observes every disk operation (used by the two-level
+	// simulation, where a client's "disk" is the server).
+	onDisk func(key blockKey, write bool, t trace.Time)
+	// freeList recycles evicted block frames; the simulator allocates at
+	// most capacity+1 frames over its whole run, keeping long sweeps off
+	// the garbage collector's back.
+	freeList  *block
+	residency *stats.Histogram
+	resOver   int64
+	resTotal  int64
+}
+
+func newCache(cfg Config) *cache {
+	capacity := int(cfg.CacheSize / cfg.BlockSize)
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &cache{
+		cfg:      cfg,
+		capacity: capacity,
+		res:      &Result{Config: cfg},
+		blocks:   make(map[blockKey]*block),
+		byFile:   make(map[trace.FileID]map[int64]*block),
+		pol:      newReplacer(cfg.Replacement, cfg.Seed),
+		sizes:    make(map[trace.FileID]int64),
+		// Residency spans 10 ms to days.
+		residency: stats.NewLogHistogram(0.01, 1.35, 60),
+	}
+	if cfg.Write == FlushBack {
+		c.nextFlush = cfg.FlushInterval
+	}
+	return c
+}
+
+// advance moves the clock forward, running any flush-back scans that came
+// due. The clock never moves backwards (the BillAtStart ablation can
+// present slightly out-of-order times; they are processed at the current
+// clock).
+func (c *cache) advance(t trace.Time) {
+	if t > c.now {
+		c.now = t
+	}
+	if c.cfg.Write != FlushBack {
+		return
+	}
+	for c.nextFlush <= c.now {
+		for _, b := range c.blocks {
+			if b.dirty {
+				b.dirty = false
+				c.diskWrite(b.key)
+			}
+		}
+		c.nextFlush += c.cfg.FlushInterval
+	}
+}
+
+func (c *cache) recordResidency(b *block) {
+	d := c.now - b.enteredAt
+	c.residency.Add(d.Seconds(), 1)
+	c.resTotal++
+	if d > c.cfg.ResidencyThreshold {
+		c.resOver++
+	}
+}
+
+// diskWrite and diskRead count disk operations and notify the onDisk
+// observer.
+func (c *cache) diskWrite(key blockKey) {
+	c.res.DiskWrites++
+	if c.onDisk != nil {
+		c.onDisk(key, true, c.now)
+	}
+}
+
+func (c *cache) diskRead(key blockKey) {
+	c.res.DiskReads++
+	if c.onDisk != nil {
+		c.onDisk(key, false, c.now)
+	}
+}
+
+// drop removes a block from every index. If writeBack is true and the
+// block is dirty it costs a disk write; otherwise a dirty block is
+// discarded and counted in DirtyDiscarded.
+func (c *cache) drop(b *block, writeBack bool) {
+	if b.dirty {
+		if writeBack {
+			c.diskWrite(b.key)
+		} else {
+			c.res.DirtyDiscarded++
+		}
+		b.dirty = false
+	}
+	c.recordResidency(b)
+	delete(c.blocks, b.key)
+	fb := c.byFile[b.key.file]
+	delete(fb, b.key.idx)
+	if len(fb) == 0 {
+		delete(c.byFile, b.key.file)
+	}
+	c.pol.remove(b)
+	b.next = c.freeList
+	c.freeList = b
+}
+
+// purge removes every cached block of the file whose byte range starts at
+// or beyond size (size 0 purges the whole file). Dirty purged blocks are
+// dead data and cost no disk write.
+func (c *cache) purge(f trace.FileID, size int64) {
+	if c.cfg.NoPurge {
+		return
+	}
+	fb := c.byFile[f]
+	if len(fb) == 0 {
+		return
+	}
+	// Collect first: drop mutates the map being ranged.
+	var doomed []*block
+	for idx, b := range fb {
+		if idx*c.cfg.BlockSize >= size {
+			doomed = append(doomed, b)
+		}
+	}
+	for _, b := range doomed {
+		c.res.Purged++
+		c.drop(b, false)
+	}
+}
+
+// insert adds a block, evicting a victim if the cache is full.
+func (c *cache) insert(key blockKey) *block {
+	for c.pol.len() >= c.capacity {
+		v := c.pol.victim()
+		if v == nil {
+			break
+		}
+		c.res.Evictions++
+		c.drop(v, true)
+	}
+	b := c.freeList
+	if b != nil {
+		c.freeList = b.next
+		*b = block{key: key, enteredAt: c.now}
+	} else {
+		b = &block{key: key, enteredAt: c.now}
+	}
+	c.blocks[key] = b
+	fb := c.byFile[key.file]
+	if fb == nil {
+		fb = make(map[int64]*block)
+		c.byFile[key.file] = fb
+	}
+	fb[key.idx] = b
+	c.pol.insert(b)
+	return b
+}
+
+// markDirty applies the write policy to a modified block.
+func (c *cache) markDirty(b *block) {
+	if c.cfg.Write == WriteThrough {
+		c.diskWrite(b.key)
+		return
+	}
+	b.dirty = true
+}
+
+// transfer simulates the block accesses of one reconstructed run.
+func (c *cache) transfer(t xfer.Transfer) {
+	when := t.Time
+	if c.cfg.BillAtStart {
+		when = t.Start
+	}
+	c.advance(when)
+
+	bs := c.cfg.BlockSize
+	oldSize := c.sizes[t.File]
+	first := t.Offset / bs
+	last := (t.End() - 1) / bs
+	for idx := first; idx <= last; idx++ {
+		c.res.LogicalAccesses++
+		if t.Write {
+			c.res.WriteAccesses++
+		} else {
+			c.res.ReadAccesses++
+		}
+		key := blockKey{file: t.File, idx: idx}
+		if b, ok := c.blocks[key]; ok {
+			c.pol.access(b)
+			if t.Write {
+				c.markDirty(b)
+			}
+			continue
+		}
+		// Miss. A read always fetches. A write fetches only if the
+		// block holds valid bytes outside the written range: the run
+		// covers [t.Offset, t.End()) and bytes beyond oldSize are not
+		// valid data, so a full-block overwrite or an append into
+		// fresh space needs no read (paper §6.1).
+		fetch := true
+		if t.Write {
+			blockStart := idx * bs
+			blockEnd := blockStart + bs
+			headValid := t.Offset > blockStart && oldSize > blockStart
+			tailValid := t.End() < blockEnd && oldSize > t.End()
+			fetch = headValid || tailValid
+		}
+		if fetch {
+			c.diskRead(key)
+		}
+		b := c.insert(key)
+		if t.Write {
+			c.markDirty(b)
+		}
+	}
+	if t.Write && t.End() > oldSize {
+		c.sizes[t.File] = t.End()
+	}
+}
+
+// finish closes out the simulation, recording residency for blocks still
+// cached and counting blocks still dirty.
+func (c *cache) finish() *Result {
+	for _, b := range c.blocks {
+		if b.dirty {
+			c.res.DirtyAtEnd++
+		}
+		c.recordResidency(b)
+	}
+	c.res.Residency = c.residency.CDF()
+	if c.resTotal > 0 {
+		c.res.ResidencyOver = float64(c.resOver) / float64(c.resTotal)
+	}
+	return c.res
+}
+
+// Simulate runs one cache simulation over a time-ordered trace.
+func Simulate(events []trace.Event, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := newCache(cfg)
+	sc := xfer.NewScanner()
+	sc.OnTransfer = c.transfer
+
+	for _, e := range events {
+		c.advance(e.Time)
+		switch e.Kind {
+		case trace.KindCreate:
+			// Overwrite: the file's previous blocks are dead.
+			c.purge(e.File, 0)
+			c.sizes[e.File] = 0
+		case trace.KindOpen:
+			c.sizes[e.File] = e.Size
+		case trace.KindTruncate:
+			c.purge(e.File, e.Size)
+			c.sizes[e.File] = e.Size
+		case trace.KindUnlink:
+			c.purge(e.File, 0)
+			delete(c.sizes, e.File)
+		case trace.KindExec:
+			if cfg.SimulatePaging && e.Size > 0 {
+				c.transfer(xfer.Transfer{
+					Time: e.Time, Start: e.Time,
+					File: e.File, User: e.User,
+					Offset: 0, Length: e.Size,
+					Write: false, Mode: trace.ReadOnly,
+				})
+			}
+		}
+		sc.Feed(e)
+	}
+	sc.Finish()
+	if errs := sc.Errs(); len(errs) > 0 {
+		return nil, fmt.Errorf("cachesim: malformed trace: %v", errs[0])
+	}
+	return c.finish(), nil
+}
+
+// CountBlockAccesses returns the number of logical block accesses a trace
+// generates at the given block size — the "no cache" column of the paper's
+// Table VII.
+func CountBlockAccesses(events []trace.Event, blockSize int64, simulatePaging bool) (int64, error) {
+	r, err := Simulate(events, Config{
+		BlockSize:      blockSize,
+		CacheSize:      blockSize, // minimal cache; logical counts don't depend on capacity
+		Write:          DelayedWrite,
+		SimulatePaging: simulatePaging,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.LogicalAccesses, nil
+}

@@ -1,0 +1,195 @@
+package cachesim
+
+import "bsdtrace/internal/dist"
+
+// Replacement selects the cache replacement policy. The paper's simulator
+// uses LRU exclusively; the others are ablations quantifying how much of
+// the cache's benefit depends on that choice.
+type Replacement uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used block (the paper's policy).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-inserted block regardless of use.
+	FIFO
+	// Clock is the one-bit second-chance approximation of LRU.
+	Clock
+	// Random evicts a uniformly random block.
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	case Random:
+		return "random"
+	}
+	return "replacement(?)"
+}
+
+// replacer is the internal interface a replacement policy implements. The
+// cache calls insert on fill, access on every hit, remove on purge, and
+// victim to choose an eviction candidate (which the cache then removes).
+type replacer interface {
+	insert(b *block)
+	access(b *block)
+	remove(b *block)
+	victim() *block
+	len() int
+}
+
+func newReplacer(r Replacement, seed int64) replacer {
+	switch r {
+	case LRU:
+		return &listPolicy{moveOnAccess: true}
+	case FIFO:
+		return &listPolicy{}
+	case Clock:
+		return &clockPolicy{}
+	case Random:
+		return &randomPolicy{src: dist.NewSource(seed)}
+	default:
+		panic("cachesim: unknown replacement policy")
+	}
+}
+
+// blockList is an intrusive doubly-linked list of cache blocks with a
+// sentinel-free head/tail representation. Intrusive links avoid a separate
+// allocation per cached block on the simulator's hottest path.
+type blockList struct {
+	head, tail *block
+	n          int
+}
+
+func (l *blockList) pushFront(b *block) {
+	b.prev = nil
+	b.next = l.head
+	if l.head != nil {
+		l.head.prev = b
+	}
+	l.head = b
+	if l.tail == nil {
+		l.tail = b
+	}
+	l.n++
+}
+
+func (l *blockList) remove(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	l.n--
+}
+
+func (l *blockList) moveToFront(b *block) {
+	if l.head == b {
+		return
+	}
+	l.remove(b)
+	l.pushFront(b)
+}
+
+// listPolicy implements LRU (moveOnAccess) and FIFO (insertion order).
+// The victim is always the list tail.
+type listPolicy struct {
+	list         blockList
+	moveOnAccess bool
+}
+
+func (p *listPolicy) insert(b *block) { p.list.pushFront(b) }
+func (p *listPolicy) access(b *block) {
+	if p.moveOnAccess {
+		p.list.moveToFront(b)
+	}
+}
+func (p *listPolicy) remove(b *block) { p.list.remove(b) }
+func (p *listPolicy) victim() *block  { return p.list.tail }
+func (p *listPolicy) len() int        { return p.list.n }
+
+// clockPolicy approximates LRU with a reference bit per block and a
+// sweeping hand. Blocks live on the same intrusive list; the hand walks
+// from the tail toward the head, giving referenced blocks a second chance.
+type clockPolicy struct {
+	list blockList
+	hand *block
+}
+
+func (p *clockPolicy) insert(b *block) { p.list.pushFront(b) }
+func (p *clockPolicy) access(b *block) { b.referenced = true }
+func (p *clockPolicy) remove(b *block) {
+	if p.hand == b {
+		p.hand = b.prev
+		if p.hand == nil {
+			p.hand = p.list.tail
+		}
+		if p.hand == b {
+			p.hand = nil
+		}
+	}
+	p.list.remove(b)
+}
+func (p *clockPolicy) victim() *block {
+	if p.list.n == 0 {
+		return nil
+	}
+	if p.hand == nil {
+		p.hand = p.list.tail
+	}
+	// Two sweeps suffice: the first clears every referenced bit on the
+	// way, so the second finds an unreferenced block.
+	for i := 0; i < 2*p.list.n; i++ {
+		b := p.hand
+		if !b.referenced {
+			return b
+		}
+		b.referenced = false
+		p.hand = b.prev
+		if p.hand == nil {
+			p.hand = p.list.tail
+		}
+	}
+	return p.list.tail
+}
+func (p *clockPolicy) len() int { return p.list.n }
+
+// randomPolicy evicts a uniformly random block. Blocks are kept in a
+// slice with back-swap deletion; each block remembers its slot.
+type randomPolicy struct {
+	blocks []*block
+	src    *dist.Source
+}
+
+func (p *randomPolicy) insert(b *block) {
+	b.slot = len(p.blocks)
+	p.blocks = append(p.blocks, b)
+}
+func (p *randomPolicy) access(*block) {}
+func (p *randomPolicy) remove(b *block) {
+	last := len(p.blocks) - 1
+	p.blocks[b.slot] = p.blocks[last]
+	p.blocks[b.slot].slot = b.slot
+	p.blocks[last] = nil
+	p.blocks = p.blocks[:last]
+}
+func (p *randomPolicy) victim() *block {
+	if len(p.blocks) == 0 {
+		return nil
+	}
+	return p.blocks[p.src.Intn(len(p.blocks))]
+}
+func (p *randomPolicy) len() int { return len(p.blocks) }

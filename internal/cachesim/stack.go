@@ -1,0 +1,143 @@
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// StackResult holds a one-pass LRU stack-distance analysis (Mattson et
+// al.'s classic algorithm) over a trace's block reference string.
+//
+// Where Simulate replays one cache configuration with full write-policy
+// and purge semantics, the stack analysis computes the pure LRU reference
+// miss ratio for *every* cache size simultaneously: by LRU's inclusion
+// property, a reference hits in a cache of C blocks exactly when its reuse
+// distance (the number of distinct blocks touched since the last reference
+// to this block) is at most C. The resulting curve is how the trace-study
+// literature summarizes a workload's locality, and bounds Table VI from
+// below (the real simulator adds write-backs and subtracts purged dead
+// blocks and whole-block overwrites).
+type StackResult struct {
+	BlockSize int64
+	// References is the length of the block reference string;
+	// ColdMisses the number of first-touches (infinite distance).
+	References int64
+	ColdMisses int64
+	// hist[d] counts references with reuse distance d+1 (d distinct
+	// blocks fit a hit in a cache of d+1 blocks... see MissRatio).
+	hist []int64
+}
+
+// fenwick is a binary indexed tree over reference positions, counting the
+// current "most recent position" markers of each block.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int64, n+1)} }
+
+func (f *fenwick) add(i int, delta int64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the count of markers at positions <= i.
+func (f *fenwick) sum(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// StackDistances computes the reuse-distance profile of a trace's block
+// reference string at the given block size. Both read and write accesses
+// count as references; deletions and overwrites are ignored (this is the
+// pure locality profile, not the I/O count — see Simulate for that).
+func StackDistances(events []trace.Event, blockSize int64) (*StackResult, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
+	}
+	// First pass: collect the reference string.
+	var refs []blockKey
+	sc := xfer.NewScanner()
+	sc.OnTransfer = func(t xfer.Transfer) {
+		first := t.Offset / blockSize
+		last := (t.End() - 1) / blockSize
+		for idx := first; idx <= last; idx++ {
+			refs = append(refs, blockKey{file: t.File, idx: idx})
+		}
+	}
+	for _, e := range events {
+		sc.Feed(e)
+	}
+	sc.Finish()
+	if errs := sc.Errs(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	res := &StackResult{BlockSize: blockSize, References: int64(len(refs))}
+	// Second pass: Mattson via a Fenwick tree over positions. last[b] is
+	// the position of b's previous reference; the number of distinct
+	// blocks referenced since is the count of "latest position" markers
+	// after it.
+	last := make(map[blockKey]int, 1024)
+	f := newFenwick(len(refs))
+	var maxDist int
+	distCount := make(map[int]int64)
+	for pos, b := range refs {
+		if prev, ok := last[b]; ok {
+			dist := int(f.sum(len(refs)-1) - f.sum(prev))
+			// dist counts distinct blocks referenced strictly after
+			// prev, excluding b itself (b's marker sits at prev).
+			distCount[dist]++
+			if dist > maxDist {
+				maxDist = dist
+			}
+			f.add(prev, -1)
+		} else {
+			res.ColdMisses++
+		}
+		f.add(pos, 1)
+		last[b] = pos
+	}
+	res.hist = make([]int64, maxDist+1)
+	for d, c := range distCount {
+		res.hist[d] = c
+	}
+	return res, nil
+}
+
+// MissRatio returns the LRU reference miss ratio for a cache of the given
+// byte capacity: a reference with reuse distance d hits iff the cache
+// holds more than d blocks (the referenced block is at stack depth d+1).
+func (r *StackResult) MissRatio(cacheBytes int64) float64 {
+	if r.References == 0 {
+		return 0
+	}
+	capBlocks := int(cacheBytes / r.BlockSize)
+	misses := r.ColdMisses
+	for d := capBlocks; d < len(r.hist); d++ {
+		misses += r.hist[d]
+	}
+	return float64(misses) / float64(r.References)
+}
+
+// Curve evaluates the miss ratio at each cache size, sorted ascending.
+func (r *StackResult) Curve(cacheSizes []int64) []float64 {
+	sizes := append([]int64(nil), cacheSizes...)
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	out := make([]float64, len(sizes))
+	for i, cs := range sizes {
+		out[i] = r.MissRatio(cs)
+	}
+	return out
+}
+
+// DistinctBlocks returns the number of distinct blocks referenced (the
+// cold-miss count).
+func (r *StackResult) DistinctBlocks() int64 { return r.ColdMisses }

@@ -1,0 +1,225 @@
+package cachesim
+
+import (
+	"runtime"
+	"sync"
+
+	"bsdtrace/internal/trace"
+)
+
+// runParallel executes jobs 0..n-1 on up to GOMAXPROCS workers and
+// returns the first error. Simulations are pure functions of (events,
+// config), so sweeps parallelize without affecting determinism.
+func runParallel(n int, job func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// PolicySpec names one write-policy column of the paper's Table VI.
+type PolicySpec struct {
+	Name     string
+	Write    WritePolicy
+	Interval trace.Time
+}
+
+// PaperPolicies returns the four write policies of Table VI in the
+// paper's column order: write-through, 30-second flush, 5-minute flush,
+// delayed-write.
+func PaperPolicies() []PolicySpec {
+	return []PolicySpec{
+		{Name: "Write-Through", Write: WriteThrough},
+		{Name: "30 sec Flush", Write: FlushBack, Interval: 30 * trace.Second},
+		{Name: "5 min Flush", Write: FlushBack, Interval: 5 * trace.Minute},
+		{Name: "Delayed Write", Write: DelayedWrite},
+	}
+}
+
+// PaperCacheSizes returns the cache sizes of Table VI: the 390-kbyte UNIX
+// configuration and 1 through 16 megabytes.
+func PaperCacheSizes() []int64 {
+	return []int64{UnixCacheSize, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+}
+
+// PaperBlockSizes returns the block sizes of Table VII: 1 through 32
+// kbytes.
+func PaperBlockSizes() []int64 {
+	return []int64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+}
+
+// PaperBlockCacheSizes returns the cache sizes of Table VII: 400 kbytes
+// and 2, 4, 8 megabytes.
+func PaperBlockCacheSizes() []int64 {
+	return []int64{400 << 10, 2 << 20, 4 << 20, 8 << 20}
+}
+
+// PolicySweep regenerates Table VI / Figure 5: miss ratio as a function of
+// cache size and write policy at a fixed block size. The result is indexed
+// [cacheSize][policy].
+func PolicySweep(events []trace.Event, blockSize int64, cacheSizes []int64, policies []PolicySpec) ([][]*Result, error) {
+	out := make([][]*Result, len(cacheSizes))
+	for i := range out {
+		out[i] = make([]*Result, len(policies))
+	}
+	err := runParallel(len(cacheSizes)*len(policies), func(k int) error {
+		i, j := k/len(policies), k%len(policies)
+		r, err := Simulate(events, Config{
+			BlockSize:     blockSize,
+			CacheSize:     cacheSizes[i],
+			Write:         policies[j].Write,
+			FlushInterval: policies[j].Interval,
+		})
+		if err != nil {
+			return err
+		}
+		out[i][j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BlockSizeSweep regenerates Table VII / Figure 6: disk I/Os as a function
+// of block size and cache size under delayed-write. The result is indexed
+// [blockSize][cacheSize]; Accesses[i] is the no-cache logical block access
+// count for blockSizes[i] (the table's first column).
+type BlockSizeSweepResult struct {
+	BlockSizes []int64
+	CacheSizes []int64
+	Accesses   []int64
+	Results    [][]*Result
+}
+
+// BlockSizeSweep runs the Table VII experiment.
+func BlockSizeSweep(events []trace.Event, blockSizes, cacheSizes []int64) (*BlockSizeSweepResult, error) {
+	out := &BlockSizeSweepResult{
+		BlockSizes: blockSizes,
+		CacheSizes: cacheSizes,
+		Accesses:   make([]int64, len(blockSizes)),
+		Results:    make([][]*Result, len(blockSizes)),
+	}
+	for i := range blockSizes {
+		out.Results[i] = make([]*Result, len(cacheSizes))
+	}
+	err := runParallel(len(blockSizes)*len(cacheSizes), func(k int) error {
+		i, j := k/len(cacheSizes), k%len(cacheSizes)
+		r, err := Simulate(events, Config{
+			BlockSize: blockSizes[i],
+			CacheSize: cacheSizes[j],
+			Write:     DelayedWrite,
+		})
+		if err != nil {
+			return err
+		}
+		out.Results[i][j] = r
+		out.Accesses[i] = r.LogicalAccesses
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PagingSweep regenerates Figure 7: delayed-write miss ratios across cache
+// sizes with and without simulated program page-in. The result is indexed
+// [cacheSize][0 = ignored, 1 = simulated].
+func PagingSweep(events []trace.Event, blockSize int64, cacheSizes []int64) ([][2]*Result, error) {
+	out := make([][2]*Result, len(cacheSizes))
+	err := runParallel(len(cacheSizes)*2, func(k int) error {
+		i, j := k/2, k%2
+		r, err := Simulate(events, Config{
+			BlockSize:      blockSize,
+			CacheSize:      cacheSizes[i],
+			Write:          DelayedWrite,
+			SimulatePaging: j == 1,
+		})
+		if err != nil {
+			return err
+		}
+		out[i][j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplacementSweep runs ablation A1: all four replacement policies at one
+// cache configuration, delayed-write.
+func ReplacementSweep(events []trace.Event, blockSize, cacheSize int64, seed int64) (map[Replacement]*Result, error) {
+	out := make(map[Replacement]*Result)
+	for _, rp := range []Replacement{LRU, FIFO, Clock, Random} {
+		r, err := Simulate(events, Config{
+			BlockSize:   blockSize,
+			CacheSize:   cacheSize,
+			Write:       DelayedWrite,
+			Replacement: rp,
+			Seed:        seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[rp] = r
+	}
+	return out, nil
+}
+
+// FlushIntervalSweep runs ablation A2: flush-back across a range of
+// intervals, bracketed by write-through (interval → 0) and delayed-write
+// (interval → ∞).
+func FlushIntervalSweep(events []trace.Event, blockSize, cacheSize int64, intervals []trace.Time) ([]*Result, error) {
+	out := make([]*Result, len(intervals))
+	for i, iv := range intervals {
+		r, err := Simulate(events, Config{
+			BlockSize:     blockSize,
+			CacheSize:     cacheSize,
+			Write:         FlushBack,
+			FlushInterval: iv,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

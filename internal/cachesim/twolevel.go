@@ -1,0 +1,210 @@
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// Two-level simulation: the diskless-workstation architecture the paper's
+// introduction motivates. Each machine keeps a local block cache; misses
+// and (write-through) modifications travel over the network to one file
+// server, whose own large cache stands in front of the disk. The paper
+// asks "how much network bandwidth is needed to support a diskless
+// workstation?" and "how should disk block caches be organized?"; this
+// simulation answers both at once: client hit ratios bound the network
+// traffic, and the server cache bounds the disk traffic.
+//
+// Clients write through to the server (a client crash then loses nothing,
+// which is why early network file systems made this choice); the server
+// applies any of the usual write policies against its disk.
+
+// TwoLevelConfig parameterizes the network.
+type TwoLevelConfig struct {
+	// BlockSize is shared by clients and server.
+	BlockSize int64
+	// ClientCache is each machine's local cache capacity; ServerCache
+	// the file server's.
+	ClientCache int64
+	ServerCache int64
+	// Write is the server's disk write policy (clients always write
+	// through to the server); FlushInterval applies to FlushBack.
+	Write         WritePolicy
+	FlushInterval trace.Time
+}
+
+// TwoLevelResult reports the network's behavior at every level.
+type TwoLevelResult struct {
+	Config TwoLevelConfig
+	// ClientAccesses counts block accesses at the clients;
+	// ClientReadMisses those that had to fetch from the server.
+	ClientAccesses   int64
+	ClientReadMisses int64
+	// WriteForwards counts blocks written through to the server.
+	WriteForwards int64
+	// NetworkBlocks is the total blocks crossing the network:
+	// ClientReadMisses + WriteForwards.
+	NetworkBlocks int64
+	// ServerDiskReads and ServerDiskWrites are the server's disk I/O.
+	ServerDiskReads  int64
+	ServerDiskWrites int64
+}
+
+// ClientHitRatio returns the fraction of client accesses served locally.
+func (r *TwoLevelResult) ClientHitRatio() float64 {
+	if r.ClientAccesses == 0 {
+		return 0
+	}
+	return 1 - float64(r.NetworkBlocks)/float64(r.ClientAccesses)
+}
+
+// ServerDiskIOs returns the server's total disk operations.
+func (r *TwoLevelResult) ServerDiskIOs() int64 { return r.ServerDiskReads + r.ServerDiskWrites }
+
+// EndToEndMissRatio returns server disk I/Os per client block access: the
+// fraction of logical accesses that reach a disk at all.
+func (r *TwoLevelResult) EndToEndMissRatio() float64 {
+	if r.ClientAccesses == 0 {
+		return 0
+	}
+	return float64(r.ServerDiskIOs()) / float64(r.ClientAccesses)
+}
+
+// serverOp is one operation arriving at the server, in time order.
+type serverOp struct {
+	time  trace.Time
+	key   blockKey
+	kind  serverOpKind
+	size  int64 // for truncate purges
+	order int64 // stable tiebreak
+}
+
+type serverOpKind uint8
+
+const (
+	opRead serverOpKind = iota
+	opWrite
+	opPurge
+)
+
+// TwoLevelSimulate runs one trace per machine through a local
+// write-through client cache and forwards the resulting traffic to a
+// shared server cache. Machine file identifiers are remapped (file*n+i, as
+// trace.Merge does) so machines never collide.
+func TwoLevelSimulate(machines [][]trace.Event, cfg TwoLevelConfig) (*TwoLevelResult, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("cachesim: two-level simulation needs at least one machine")
+	}
+	clientCfg := Config{BlockSize: cfg.BlockSize, CacheSize: cfg.ClientCache, Write: WriteThrough}
+	if err := clientCfg.fill(); err != nil {
+		return nil, err
+	}
+	serverCfg := Config{
+		BlockSize: cfg.BlockSize, CacheSize: cfg.ServerCache,
+		Write: cfg.Write, FlushInterval: cfg.FlushInterval,
+	}
+	if err := serverCfg.fill(); err != nil {
+		return nil, err
+	}
+
+	res := &TwoLevelResult{Config: cfg}
+	n := int64(len(machines))
+	var ops []serverOp
+	var order int64
+
+	// Pass 1: each client runs its own cache; its fetches and
+	// write-throughs become server operations, as do the purges implied
+	// by its metadata events.
+	for m, events := range machines {
+		m := int64(m)
+		remap := func(f trace.FileID) trace.FileID { return f*trace.FileID(n) + trace.FileID(m) }
+		c := newCache(clientCfg)
+		c.onDisk = func(key blockKey, write bool, t trace.Time) {
+			kind := opRead
+			if write {
+				kind = opWrite
+			}
+			ops = append(ops, serverOp{
+				time: t, kind: kind, order: order,
+				key: blockKey{file: remap(key.file), idx: key.idx},
+			})
+			order++
+		}
+		sc := xfer.NewScanner()
+		sc.OnTransfer = c.transfer
+		for _, e := range events {
+			c.advance(e.Time)
+			switch e.Kind {
+			case trace.KindCreate:
+				c.purge(e.File, 0)
+				c.sizes[e.File] = 0
+				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, order: order})
+				order++
+			case trace.KindOpen:
+				c.sizes[e.File] = e.Size
+			case trace.KindTruncate:
+				c.purge(e.File, e.Size)
+				c.sizes[e.File] = e.Size
+				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, size: e.Size, order: order})
+				order++
+			case trace.KindUnlink:
+				c.purge(e.File, 0)
+				delete(c.sizes, e.File)
+				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, order: order})
+				order++
+			}
+			sc.Feed(e)
+		}
+		sc.Finish()
+		if errs := sc.Errs(); len(errs) > 0 {
+			return nil, fmt.Errorf("cachesim: machine %d trace malformed: %v", m, errs[0])
+		}
+		res.ClientAccesses += c.res.LogicalAccesses
+		res.ClientReadMisses += c.res.DiskReads
+		res.WriteForwards += c.res.DiskWrites
+	}
+	res.NetworkBlocks = res.ClientReadMisses + res.WriteForwards
+
+	// Pass 2: replay the interleaved server traffic into the server
+	// cache. Writes arrive with their data (the client has the block),
+	// so a server write miss needs no disk read.
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].time != ops[j].time {
+			return ops[i].time < ops[j].time
+		}
+		return ops[i].order < ops[j].order
+	})
+	srv := newCache(serverCfg)
+	for _, op := range ops {
+		srv.advance(op.time)
+		switch op.kind {
+		case opPurge:
+			srv.purge(op.key.file, op.size)
+		case opRead:
+			srv.res.LogicalAccesses++
+			srv.res.ReadAccesses++
+			if b, ok := srv.blocks[op.key]; ok {
+				srv.pol.access(b)
+				continue
+			}
+			srv.res.DiskReads++
+			srv.insert(op.key)
+		case opWrite:
+			srv.res.LogicalAccesses++
+			srv.res.WriteAccesses++
+			if b, ok := srv.blocks[op.key]; ok {
+				srv.pol.access(b)
+				srv.markDirty(b)
+				continue
+			}
+			b := srv.insert(op.key)
+			srv.markDirty(b)
+		}
+	}
+	sres := srv.finish()
+	res.ServerDiskReads = sres.DiskReads
+	res.ServerDiskWrites = sres.DiskWrites
+	return res, nil
+}

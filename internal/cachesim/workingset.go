@@ -1,0 +1,98 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"bsdtrace/internal/stats"
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// Working-set analysis (Denning's W(T)): how many distinct blocks a trace
+// touches in windows of a given length. It is the classical explanation
+// for where a miss-ratio curve bends — the Table VI knee sits where the
+// cache first holds the working set of the reuse horizon that matters —
+// and later disk trace studies (e.g. Ruemmler & Wilkes) report exactly
+// this curve.
+
+// WorkingSetPoint summarizes W(T) for one window length: the mean and
+// maximum number of distinct blocks (and bytes) touched per non-
+// overlapping window of length T.
+type WorkingSetPoint struct {
+	Window     trace.Time
+	MeanBlocks float64
+	MaxBlocks  int64
+	// MeanBytes and MaxBytes are the block counts scaled by block size.
+	MeanBytes float64
+	MaxBytes  int64
+	Windows   int64
+}
+
+// WorkingSet computes W(T) for each window length over the trace's block
+// reference string (reads and writes alike; windows with no references
+// count as empty windows if they fall inside the trace's span).
+func WorkingSet(events []trace.Event, blockSize int64, windows []trace.Time) ([]WorkingSetPoint, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
+	}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("cachesim: window %v must be positive", w)
+		}
+	}
+	// Collect the timed reference string once.
+	type ref struct {
+		t   trace.Time
+		key blockKey
+	}
+	var refs []ref
+	var last trace.Time
+	sc := xfer.NewScanner()
+	sc.OnTransfer = func(t xfer.Transfer) {
+		first := t.Offset / blockSize
+		lastIdx := (t.End() - 1) / blockSize
+		for idx := first; idx <= lastIdx; idx++ {
+			refs = append(refs, ref{t: t.Time, key: blockKey{file: t.File, idx: idx}})
+		}
+	}
+	for _, e := range events {
+		sc.Feed(e)
+		if e.Time > last {
+			last = e.Time
+		}
+	}
+	sc.Finish()
+	if errs := sc.Errs(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	out := make([]WorkingSetPoint, 0, len(windows))
+	for _, w := range windows {
+		p := WorkingSetPoint{Window: w}
+		var agg stats.Welford
+		cur := int64(0)
+		set := make(map[blockKey]struct{})
+		flushTo := func(idx int64) {
+			for cur < idx {
+				n := int64(len(set))
+				agg.Add(float64(n))
+				if n > p.MaxBlocks {
+					p.MaxBlocks = n
+				}
+				clear(set)
+				cur++
+			}
+		}
+		for _, r := range refs {
+			flushTo(int64(r.t / w))
+			set[r.key] = struct{}{}
+		}
+		flushTo(int64(last/w) + 1)
+		p.Windows = agg.N()
+		p.MeanBlocks = agg.Mean()
+		p.MeanBytes = p.MeanBlocks * float64(blockSize)
+		p.MaxBytes = p.MaxBlocks * blockSize
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+// Package ffs implements the 4.2 BSD Fast File System's disk allocation
+// scheme — full blocks plus block fragments — at the level of detail the
+// paper's §6.3 discussion needs.
+//
+// The paper observes a tension: large blocks are attractive for the cache
+// (Table VII) but waste disk space on small files, and then notes that the
+// FFS design resolves it: "a scheme like the one in 4.2 BSD, which uses
+// multiple block sizes on disk to avoid wasted space for small files,
+// works well in conjunction with a fixed-block-size cache." This package
+// makes that remark quantitative: a disk is divided into cylinder groups;
+// a file's data occupies whole blocks except for its tail, which is packed
+// into a run of contiguous fragments (at most 8 per block, as in FFS)
+// shared with other files' tails. Replaying a trace's file population
+// against the allocator measures internal fragmentation as a function of
+// block size, with and without fragments (see Replay).
+package ffs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Geometry describes a simulated disk.
+type Geometry struct {
+	// BlockSize is the full block size in bytes; FragSize divides it
+	// evenly (FFS allows 1, 2, 4, or 8 fragments per block). Setting
+	// FragSize == BlockSize disables sub-block allocation, modeling the
+	// old file system the FFS design replaced.
+	BlockSize int64
+	FragSize  int64
+	// Groups and BlocksPerGroup size the disk: cylinder groups spread
+	// allocations so related data stays together and free space stays
+	// spread out.
+	Groups         int
+	BlocksPerGroup int
+}
+
+// Validate checks the geometry's internal consistency.
+func (g Geometry) Validate() error {
+	if g.BlockSize <= 0 || g.FragSize <= 0 {
+		return errors.New("ffs: block and fragment sizes must be positive")
+	}
+	if g.BlockSize%g.FragSize != 0 {
+		return fmt.Errorf("ffs: block size %d not a multiple of fragment size %d", g.BlockSize, g.FragSize)
+	}
+	if n := g.BlockSize / g.FragSize; n > 8 {
+		return fmt.Errorf("ffs: %d fragments per block exceeds the FFS maximum of 8", n)
+	}
+	if g.Groups <= 0 || g.BlocksPerGroup <= 0 {
+		return errors.New("ffs: need at least one cylinder group with at least one block")
+	}
+	return nil
+}
+
+// Capacity returns the disk's data capacity in bytes.
+func (g Geometry) Capacity() int64 {
+	return int64(g.Groups) * int64(g.BlocksPerGroup) * g.BlockSize
+}
+
+// ErrNoSpace is returned when an allocation cannot be satisfied.
+var ErrNoSpace = errors.New("ffs: out of space")
+
+// fragRange addresses a run of fragments within one block: a global
+// fragment index plus a count.
+type fragRange struct {
+	start int64
+	count int64
+}
+
+// File is an allocated file's on-disk footprint.
+type File struct {
+	size    int64   // logical bytes
+	blocks  []int64 // full block indexes
+	tail    fragRange
+	hasTail bool
+}
+
+// Size returns the logical size.
+func (f *File) Size() int64 { return f.size }
+
+// Blocks returns the number of full blocks plus tail fragments the file
+// occupies.
+func (f *File) Blocks() (full int, tailFrags int64) {
+	return len(f.blocks), f.tail.count
+}
+
+// group bookkeeping: a stack of (candidate) wholly free blocks with lazy
+// validation, plus the set of partially used blocks whose free fragments
+// can hold tails.
+type group struct {
+	freeStack []int64
+	partial   map[int64]struct{}
+}
+
+// Disk is the allocator state.
+type Disk struct {
+	geo      Geometry
+	fragsPer int64 // fragments per block
+	bitmap   []uint64
+	used     []int8 // used fragment count per block
+	groups   []group
+
+	freeFrags int64
+	dataBytes int64 // logical bytes stored
+	allocated int64 // fragment bytes allocated
+	nextGroup int
+}
+
+// NewDisk creates an empty disk.
+func NewDisk(geo Geometry) (*Disk, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	fragsPer := geo.BlockSize / geo.FragSize
+	totalBlocks := int64(geo.Groups) * int64(geo.BlocksPerGroup)
+	d := &Disk{
+		geo:       geo,
+		fragsPer:  fragsPer,
+		bitmap:    make([]uint64, (totalBlocks*fragsPer+63)/64),
+		used:      make([]int8, totalBlocks),
+		groups:    make([]group, geo.Groups),
+		freeFrags: totalBlocks * fragsPer,
+	}
+	for g := range d.groups {
+		d.groups[g].partial = make(map[int64]struct{})
+		base := int64(g) * int64(geo.BlocksPerGroup)
+		// Push in reverse so low block numbers pop first.
+		for b := int64(geo.BlocksPerGroup) - 1; b >= 0; b-- {
+			d.groups[g].freeStack = append(d.groups[g].freeStack, base+b)
+		}
+	}
+	return d, nil
+}
+
+// Geometry returns the disk's geometry.
+func (d *Disk) Geometry() Geometry { return d.geo }
+
+// FreeBytes returns the free space in bytes.
+func (d *Disk) FreeBytes() int64 { return d.freeFrags * d.geo.FragSize }
+
+func (d *Disk) isFree(frag int64) bool {
+	return d.bitmap[frag/64]&(1<<(frag%64)) == 0
+}
+
+func (d *Disk) groupOf(block int64) *group {
+	return &d.groups[block/int64(d.geo.BlocksPerGroup)]
+}
+
+// setRange marks a fragment range used or free and maintains the per-block
+// counters and group indexes.
+func (d *Disk) setRange(r fragRange, use bool) {
+	block := r.start / d.fragsPer
+	g := d.groupOf(block)
+	wasUsed := d.used[block]
+	for i := int64(0); i < r.count; i++ {
+		f := r.start + i
+		if use {
+			d.bitmap[f/64] |= 1 << (f % 64)
+		} else {
+			d.bitmap[f/64] &^= 1 << (f % 64)
+		}
+	}
+	if use {
+		d.used[block] += int8(r.count)
+		d.freeFrags -= r.count
+	} else {
+		d.used[block] -= int8(r.count)
+		d.freeFrags += r.count
+	}
+	nowUsed := d.used[block]
+	switch {
+	case nowUsed == 0:
+		delete(g.partial, block)
+		if wasUsed != 0 {
+			g.freeStack = append(g.freeStack, block)
+		}
+	case nowUsed == int8(d.fragsPer):
+		delete(g.partial, block)
+	default:
+		g.partial[block] = struct{}{}
+	}
+}
+
+// popFreeBlock takes a wholly free block, preferring the given group. The
+// free stacks may hold stale entries (a block pushed on free can be taken
+// for a tail later), so entries are validated on pop.
+func (d *Disk) popFreeBlock(pref int) (int64, bool) {
+	for gi := 0; gi < d.geo.Groups; gi++ {
+		g := &d.groups[(pref+gi)%d.geo.Groups]
+		for len(g.freeStack) > 0 {
+			b := g.freeStack[len(g.freeStack)-1]
+			g.freeStack = g.freeStack[:len(g.freeStack)-1]
+			if d.used[b] == 0 {
+				return b, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// runInBlock finds a run of n contiguous free fragments inside block b,
+// returning its start or -1.
+func (d *Disk) runInBlock(b, n int64) int64 {
+	start := b * d.fragsPer
+	run, runStart := int64(0), int64(-1)
+	for i := int64(0); i < d.fragsPer; i++ {
+		if d.isFree(start + i) {
+			if runStart < 0 {
+				runStart = start + i
+			}
+			run++
+			if run >= n {
+				return runStart
+			}
+		} else {
+			run, runStart = 0, -1
+		}
+	}
+	return -1
+}
+
+// allocTail places n fragments, preferring partially used blocks (so tails
+// pack together, the FFS policy) and falling back to breaking a free block.
+func (d *Disk) allocTail(pref int, n int64) (fragRange, bool) {
+	for gi := 0; gi < d.geo.Groups; gi++ {
+		g := &d.groups[(pref+gi)%d.geo.Groups]
+		for b := range g.partial {
+			if s := d.runInBlock(b, n); s >= 0 {
+				return fragRange{start: s, count: n}, true
+			}
+		}
+	}
+	if b, ok := d.popFreeBlock(pref); ok {
+		return fragRange{start: b * d.fragsPer, count: n}, true
+	}
+	return fragRange{}, false
+}
+
+// Alloc places a file of the given size and returns its footprint.
+// A zero-size file occupies no fragments.
+func (d *Disk) Alloc(size int64) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("ffs: negative size %d", size)
+	}
+	f := &File{size: size}
+	fullBlocks := size / d.geo.BlockSize
+	tailBytes := size % d.geo.BlockSize
+	tailFrags := (tailBytes + d.geo.FragSize - 1) / d.geo.FragSize
+
+	pref := d.nextGroup
+	d.nextGroup = (d.nextGroup + 1) % d.geo.Groups
+
+	for i := int64(0); i < fullBlocks; i++ {
+		b, ok := d.popFreeBlock(pref)
+		if !ok {
+			d.release(f)
+			return nil, ErrNoSpace
+		}
+		d.setRange(fragRange{start: b * d.fragsPer, count: d.fragsPer}, true)
+		f.blocks = append(f.blocks, b)
+	}
+	if tailFrags > 0 {
+		tail, ok := d.allocTail(pref, tailFrags)
+		if !ok {
+			d.release(f)
+			return nil, ErrNoSpace
+		}
+		d.setRange(tail, true)
+		f.tail = tail
+		f.hasTail = true
+	}
+	d.dataBytes += size
+	d.allocated += (fullBlocks*d.fragsPer + tailFrags) * d.geo.FragSize
+	return f, nil
+}
+
+// release returns a file's fragments without touching the byte accounting.
+func (d *Disk) release(f *File) {
+	for _, b := range f.blocks {
+		d.setRange(fragRange{start: b * d.fragsPer, count: d.fragsPer}, false)
+	}
+	f.blocks = nil
+	if f.hasTail {
+		d.setRange(f.tail, false)
+		f.hasTail = false
+	}
+}
+
+// Free releases a file's space.
+func (d *Disk) Free(f *File) {
+	if f == nil || (len(f.blocks) == 0 && !f.hasTail && f.size == 0) {
+		return
+	}
+	frags := int64(len(f.blocks)) * d.fragsPer
+	if f.hasTail {
+		frags += f.tail.count
+	}
+	d.release(f)
+	d.dataBytes -= f.size
+	d.allocated -= frags * d.geo.FragSize
+	f.size = 0
+}
+
+// Realloc resizes a file, returning its new footprint. FFS rewrites a
+// growing tail into a larger fragment run or a full block; freeing and
+// reallocating has the same space accounting.
+func (d *Disk) Realloc(f *File, size int64) (*File, error) {
+	if f != nil {
+		d.Free(f)
+	}
+	return d.Alloc(size)
+}
+
+// Usage is a snapshot of disk utilization.
+type Usage struct {
+	// Capacity is the disk's data capacity; DataBytes the logical bytes
+	// stored; AllocatedBytes the fragment bytes consumed.
+	Capacity       int64
+	DataBytes      int64
+	AllocatedBytes int64
+	FreeBytes      int64
+	// WasteFraction is internal fragmentation: allocated bytes beyond
+	// the logical data, as a fraction of allocated bytes.
+	WasteFraction float64
+	// FreeBlockFraction is the fraction of free fragments that form
+	// whole free blocks — when it drops, large files can no longer be
+	// placed even though space remains (external fragmentation).
+	FreeBlockFraction float64
+}
+
+// Usage computes the current utilization snapshot.
+func (d *Disk) Usage() Usage {
+	u := Usage{
+		Capacity:       d.geo.Capacity(),
+		DataBytes:      d.dataBytes,
+		AllocatedBytes: d.allocated,
+		FreeBytes:      d.freeFrags * d.geo.FragSize,
+	}
+	if d.allocated > 0 {
+		u.WasteFraction = float64(d.allocated-d.dataBytes) / float64(d.allocated)
+	}
+	var freeBlockFrags int64
+	for b := range d.used {
+		if d.used[b] == 0 {
+			freeBlockFrags += d.fragsPer
+		}
+	}
+	if d.freeFrags > 0 {
+		u.FreeBlockFraction = float64(freeBlockFrags) / float64(d.freeFrags)
+	}
+	return u
+}
+
+// checkInvariants verifies the bitmap, counters, and accounting agree; it
+// is used by tests.
+func (d *Disk) checkInvariants() error {
+	var usedFrags int64
+	for b := range d.used {
+		count := int8(0)
+		start := int64(b) * d.fragsPer
+		for i := int64(0); i < d.fragsPer; i++ {
+			if !d.isFree(start + i) {
+				count++
+			}
+		}
+		if count != d.used[b] {
+			return fmt.Errorf("block %d: counter %d != bitmap %d", b, d.used[b], count)
+		}
+		usedFrags += int64(count)
+	}
+	total := int64(len(d.used)) * d.fragsPer
+	if d.freeFrags != total-usedFrags {
+		return fmt.Errorf("freeFrags %d != %d", d.freeFrags, total-usedFrags)
+	}
+	if d.allocated != usedFrags*d.geo.FragSize {
+		return fmt.Errorf("allocated %d != used frag bytes %d", d.allocated, usedFrags*d.geo.FragSize)
+	}
+	return nil
+}

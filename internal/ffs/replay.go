@@ -1,0 +1,143 @@
+package ffs
+
+import (
+	"fmt"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// Replay drives the allocator with the file population implied by a
+// trace: files are (re)allocated at each close to the size the transfer
+// reconstruction derives, resized on truncate, and freed on unlink. The
+// result quantifies the paper's §6.3 remark about disk-space waste as a
+// function of block size.
+//
+// Files that exist before the trace begins are allocated when first seen
+// (at their size-at-open), so the steady-state population — not just the
+// trace's new files — occupies the disk.
+type ReplayResult struct {
+	Geometry Geometry
+	// Final is the utilization when the trace ends; PeakAllocated and
+	// PeakData track the high-water marks.
+	Final         Usage
+	PeakAllocated int64
+	PeakData      int64
+	// LiveFiles is the file population at the end; Failed counts
+	// allocations refused for lack of space (zero unless the disk
+	// geometry is too small for the trace).
+	LiveFiles int
+	Failed    int64
+}
+
+// Replay runs a trace's file population against a fresh disk with the
+// given geometry.
+func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
+	disk, err := NewDisk(geo)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{Geometry: geo}
+	files := make(map[trace.FileID]*File)
+
+	place := func(id trace.FileID, size int64) {
+		f, err := disk.Realloc(files[id], size)
+		if err != nil {
+			res.Failed++
+			delete(files, id)
+			return
+		}
+		files[id] = f
+		if disk.allocated > res.PeakAllocated {
+			res.PeakAllocated = disk.allocated
+		}
+		if disk.dataBytes > res.PeakData {
+			res.PeakData = disk.dataBytes
+		}
+	}
+
+	sc := xfer.NewScanner()
+	sc.OnOpenEnd = func(o xfer.OpenSummary) {
+		if cur, ok := files[o.File]; ok && cur.Size() == o.SizeAtClose {
+			return // unchanged
+		}
+		place(o.File, o.SizeAtClose)
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindOpen:
+			// First sight of a pre-existing file: allocate it.
+			if _, ok := files[e.File]; !ok && e.Size > 0 {
+				place(e.File, e.Size)
+			}
+		case trace.KindTruncate:
+			if f, ok := files[e.File]; ok && f.Size() != e.Size {
+				place(e.File, e.Size)
+			}
+		case trace.KindUnlink:
+			if f, ok := files[e.File]; ok {
+				disk.Free(f)
+				delete(files, e.File)
+			}
+		}
+		sc.Feed(e)
+	}
+	sc.Finish()
+	if errs := sc.Errs(); len(errs) > 0 {
+		return nil, fmt.Errorf("ffs: malformed trace: %v", errs[0])
+	}
+	res.Final = disk.Usage()
+	res.LiveFiles = len(files)
+	return res, nil
+}
+
+// WasteSweep replays the trace across block sizes, with fragments (FFS
+// style, 8 per block where the block size allows) and without (the old
+// file system's whole-block allocation), reporting the internal
+// fragmentation of each configuration. The geometry is sized from the
+// trace's own peak so no run fails for space.
+type WasteSweepRow struct {
+	BlockSize   int64
+	FragWaste   float64 // waste fraction with FFS fragments
+	NoFragWaste float64 // waste fraction with whole-block allocation
+	FragAlloc   int64
+	NoFragAlloc int64
+	DataBytes   int64
+}
+
+// WasteSweep runs the §6.3 experiment.
+func WasteSweep(events []trace.Event, blockSizes []int64) ([]WasteSweepRow, error) {
+	rows := make([]WasteSweepRow, 0, len(blockSizes))
+	for _, bs := range blockSizes {
+		frag := bs / 8
+		if frag < 512 {
+			frag = 512
+		}
+		if frag > bs {
+			frag = bs
+		}
+		geo := Geometry{BlockSize: bs, FragSize: frag, Groups: 16, BlocksPerGroup: int(64 << 20 / bs)}
+		withFrag, err := Replay(events, geo)
+		if err != nil {
+			return nil, err
+		}
+		geo.FragSize = bs
+		without, err := Replay(events, geo)
+		if err != nil {
+			return nil, err
+		}
+		if withFrag.Failed > 0 || without.Failed > 0 {
+			return nil, fmt.Errorf("ffs: disk too small at block size %d (%d failed allocations)",
+				bs, withFrag.Failed+without.Failed)
+		}
+		rows = append(rows, WasteSweepRow{
+			BlockSize:   bs,
+			FragWaste:   withFrag.Final.WasteFraction,
+			NoFragWaste: without.Final.WasteFraction,
+			FragAlloc:   withFrag.Final.AllocatedBytes,
+			NoFragAlloc: without.Final.AllocatedBytes,
+			DataBytes:   withFrag.Final.DataBytes,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,55 @@
+package kernel
+
+// MetaHook observes the kernel's metadata activity: pathname resolutions,
+// i-node updates, and directory modifications. The 1985 tracer did not
+// record these (paper §3.2, "Missing Data"), and the paper's conclusion
+// flags them as possibly more than half of all disk block references. The
+// namei package implements this interface to simulate the 4.2 BSD
+// directory and i-node caches over the same workload that produced the
+// data trace.
+//
+// A nil hook (the default) costs nothing.
+type MetaHook interface {
+	// Resolve is called once per pathname the kernel resolves (open,
+	// create, unlink, truncate, execve).
+	Resolve(path string)
+	// InodeUpdate is called when an operation dirties an i-node: file
+	// creation, truncation, unlink, and the close of a descriptor that
+	// was written.
+	InodeUpdate()
+	// DirUpdate is called when a directory's contents change (an entry
+	// added by create or removed by unlink); dir is the directory path.
+	DirUpdate(dir string)
+}
+
+// SetMeta installs a metadata hook; pass nil to remove it.
+func (k *Kernel) SetMeta(m MetaHook) { k.meta = m }
+
+func (k *Kernel) metaResolve(path string) {
+	if k.meta != nil {
+		k.meta.Resolve(path)
+	}
+}
+
+func (k *Kernel) metaInodeUpdate() {
+	if k.meta != nil {
+		k.meta.InodeUpdate()
+	}
+}
+
+func (k *Kernel) metaDirUpdate(path string) {
+	if k.meta != nil {
+		k.meta.DirUpdate(parentDir(path))
+	}
+}
+
+// parentDir returns the directory part of an absolute path ("/a/b" ->
+// "/a", "/a" -> "/").
+func parentDir(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}

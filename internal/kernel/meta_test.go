@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/vfs"
+)
+
+// recordingMeta counts hook invocations.
+type recordingMeta struct {
+	resolves     []string
+	inodeUpdates int
+	dirUpdates   []string
+}
+
+func (m *recordingMeta) Resolve(path string)  { m.resolves = append(m.resolves, path) }
+func (m *recordingMeta) InodeUpdate()         { m.inodeUpdates++ }
+func (m *recordingMeta) DirUpdate(dir string) { m.dirUpdates = append(m.dirUpdates, dir) }
+
+func metaHarness() (*Kernel, *recordingMeta) {
+	m := &recordingMeta{}
+	k := New(vfs.New(), func() trace.Time { return 0 }, nil)
+	k.SetMeta(m)
+	k.FS().MkdirAll("/u/home")
+	return k, m
+}
+
+func TestMetaResolveOnOpenAndExec(t *testing.T) {
+	k, m := metaHarness()
+	p := k.NewProc(1)
+	fd, err := p.Create("/u/home/f", trace.WriteOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close(fd)
+	fd, _ = p.Open("/u/home/f", trace.ReadOnly)
+	p.Close(fd)
+	p.Exec("/u/home/f")
+	want := []string{"/u/home/f", "/u/home/f", "/u/home/f"}
+	if len(m.resolves) != 3 {
+		t.Fatalf("resolves = %v, want %v", m.resolves, want)
+	}
+}
+
+func TestMetaInodeUpdates(t *testing.T) {
+	k, m := metaHarness()
+	p := k.NewProc(1)
+
+	// Create: one inode update (the new file) at create time.
+	fd, _ := p.Create("/u/home/f", trace.WriteOnly)
+	if m.inodeUpdates != 1 {
+		t.Fatalf("after create: %d", m.inodeUpdates)
+	}
+	// Close of a written file: one more.
+	p.Write(fd, 100)
+	p.Close(fd)
+	if m.inodeUpdates != 2 {
+		t.Fatalf("after written close: %d", m.inodeUpdates)
+	}
+	// Close of a read-only fd: none.
+	fd, _ = p.Open("/u/home/f", trace.ReadOnly)
+	p.Read(fd, 10)
+	p.Close(fd)
+	if m.inodeUpdates != 2 {
+		t.Fatalf("read-only close updated inode: %d", m.inodeUpdates)
+	}
+	// Truncate and unlink: one each.
+	p.Truncate("/u/home/f", 10)
+	p.Unlink("/u/home/f")
+	if m.inodeUpdates != 4 {
+		t.Fatalf("after truncate+unlink: %d", m.inodeUpdates)
+	}
+}
+
+func TestMetaDirUpdates(t *testing.T) {
+	k, m := metaHarness()
+	p := k.NewProc(1)
+	fd, _ := p.Create("/u/home/f", trace.WriteOnly)
+	p.Close(fd)
+	if len(m.dirUpdates) != 1 || m.dirUpdates[0] != "/u/home" {
+		t.Fatalf("dirUpdates after create = %v", m.dirUpdates)
+	}
+	// Re-creating the same file truncates: no new directory entry.
+	fd, _ = p.Create("/u/home/f", trace.WriteOnly)
+	p.Close(fd)
+	if len(m.dirUpdates) != 1 {
+		t.Fatalf("re-create modified directory: %v", m.dirUpdates)
+	}
+	p.Unlink("/u/home/f")
+	if len(m.dirUpdates) != 2 || m.dirUpdates[1] != "/u/home" {
+		t.Fatalf("dirUpdates after unlink = %v", m.dirUpdates)
+	}
+	// Root-level files report "/".
+	fd, _ = p.Create("/rootfile", trace.WriteOnly)
+	p.Close(fd)
+	if m.dirUpdates[len(m.dirUpdates)-1] != "/" {
+		t.Fatalf("root dir update = %v", m.dirUpdates)
+	}
+}
+
+func TestMetaNilHookSafe(t *testing.T) {
+	k := New(vfs.New(), func() trace.Time { return 0 }, nil)
+	p := k.NewProc(1)
+	fd, err := p.Create("/f", trace.WriteOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, 10)
+	p.Close(fd)
+	p.Unlink("/f")
+	// Removing a hook mid-flight is also safe.
+	k.SetMeta(&recordingMeta{})
+	k.SetMeta(nil)
+	fd, _ = p.Create("/g", trace.WriteOnly)
+	p.Close(fd)
+}
+
+func TestParentDir(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c": "/a/b",
+		"/a":     "/",
+		"/":      "/",
+		"":       "/",
+	}
+	for in, want := range cases {
+		if got := parentDir(in); got != want {
+			t.Errorf("parentDir(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

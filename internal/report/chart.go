@@ -1,0 +1,182 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// XY is one chart point.
+type XY struct{ X, Y float64 }
+
+// Series is a named line on a chart.
+type Series struct {
+	Name   string
+	Points []XY
+}
+
+// Chart renders one or more series as an ASCII plot, standing in for the
+// paper's figures. X may be log-scaled (file sizes and times span several
+// decades); Y is linear, as all the paper's figures are percentages or
+// counts.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the plot area in characters (default 64x20).
+	Width, Height int
+	// LogX plots x on a log10 scale.
+	LogX bool
+	// YMax forces the y-axis maximum (default: data maximum). YMin is
+	// always 0, matching the paper's cumulative-percentage figures.
+	YMax float64
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := c.YMax
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x := p.X
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			if c.YMax == 0 {
+				ymax = math.Max(ymax, p.Y)
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || ymax <= 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n\n", c.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m byte) {
+		if c.LogX {
+			if x <= 0 {
+				return
+			}
+			x = math.Log10(x)
+		}
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		row := height - 1 - int(y/ymax*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = m
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Draw line segments by interpolating between points in screen
+		// space so curves are readable, then overdraw markers.
+		for i := 1; i < len(s.Points); i++ {
+			a, b := s.Points[i-1], s.Points[i]
+			const steps = 48
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / steps
+				var x float64
+				if c.LogX && a.X > 0 && b.X > 0 {
+					x = math.Pow(10, math.Log10(a.X)+f*(math.Log10(b.X)-math.Log10(a.X)))
+				} else {
+					x = a.X + f*(b.X-a.X)
+				}
+				y := a.Y + f*(b.Y-a.Y)
+				plot(x, y, '.')
+			}
+		}
+		for _, p := range s.Points {
+			plot(p.X, p.Y, m)
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	yLab := c.YLabel
+	for i, row := range grid {
+		yv := ymax * float64(height-1-i) / float64(height-1)
+		label := "        "
+		switch {
+		case i == 0, i == height-1, i == height/2:
+			label = fmt.Sprintf("%7.4g ", yv)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	// X-axis endpoints and midpoint.
+	lo, hi := xmin, xmax
+	mid := (lo + hi) / 2
+	if c.LogX {
+		lo, mid, hi = math.Pow(10, lo), math.Pow(10, mid), math.Pow(10, hi)
+	}
+	left := fmt.Sprintf("%.4g", lo)
+	midS := fmt.Sprintf("%.4g", mid)
+	right := fmt.Sprintf("%.4g", hi)
+	axis := make([]byte, width+9)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	copy(axis[9:], left)
+	copy(axis[9+width/2-len(midS)/2:], midS)
+	if 9+width-len(right) > 0 {
+		copy(axis[9+width-len(right):], right)
+	}
+	sb.Write(axis)
+	sb.WriteByte('\n')
+	if c.XLabel != "" || yLab != "" {
+		scale := ""
+		if c.LogX {
+			scale = " (log scale)"
+		}
+		fmt.Fprintf(&sb, "        x: %s%s   y: %s\n", c.XLabel, scale, yLab)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CDFSeries converts a stats-style CDF (fractions in [0,1]) into a chart
+// series in percent, optionally dropping the censored tail above xCap.
+func CDFSeries(name string, points []XY, xCap float64) Series {
+	out := Series{Name: name}
+	for _, p := range points {
+		if xCap > 0 && p.X > xCap {
+			continue
+		}
+		out.Points = append(out.Points, XY{X: p.X, Y: p.Y * 100})
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every chart and table can be written as machine-readable
+// data for external plotting tools. The ASCII renderings are for reading
+// in a terminal; these files are for gnuplot and friends.
+
+// WriteCSV writes a chart's series as long-format rows:
+// series,x,y — one row per point.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			err := cw.Write([]string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes a table's header and rows. Cells keep their rendered
+// formatting (percent signs, thousands separators) because the table is
+// the presentation form; figures are where raw values live.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DataSet collects named charts and tables and writes them all as CSV
+// files into a directory: <name>.csv per item.
+type DataSet struct {
+	items []dataItem
+}
+
+type dataItem struct {
+	name  string
+	chart *Chart
+	table *Table
+}
+
+// AddChart registers a chart under a file name (without extension).
+func (d *DataSet) AddChart(name string, c *Chart) {
+	d.items = append(d.items, dataItem{name: name, chart: c})
+}
+
+// AddTable registers a table under a file name (without extension).
+func (d *DataSet) AddTable(name string, t *Table) {
+	d.items = append(d.items, dataItem{name: name, table: t})
+}
+
+// WriteDir writes every registered item to dir, creating it if needed,
+// and returns the file paths written.
+func (d *DataSet) WriteDir(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, it := range d.items {
+		path := filepath.Join(dir, it.name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if it.chart != nil {
+			err = it.chart.WriteCSV(f)
+		} else if it.table != nil {
+			err = it.table.WriteCSV(f)
+		} else {
+			err = fmt.Errorf("report: data item %q has no content", it.name)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, fmt.Errorf("writing %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

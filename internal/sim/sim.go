@@ -1,0 +1,115 @@
+// Package sim is the discrete-event engine that advances the simulated
+// machine through virtual time. Workload actors schedule closures at
+// absolute or relative virtual times; the engine runs them in time order,
+// breaking ties by scheduling order so that a given seed always produces
+// the same interleaving and therefore the same trace.
+package sim
+
+import (
+	"container/heap"
+
+	"bsdtrace/internal/trace"
+)
+
+// Engine is a single-goroutine discrete-event scheduler over virtual time.
+type Engine struct {
+	now   trace.Time
+	queue eventQueue
+	seq   uint64
+}
+
+type scheduled struct {
+	at  trace.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(scheduled)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = scheduled{}
+	*q = old[:n-1]
+	return it
+}
+
+// New creates an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() trace.Time { return e.now }
+
+// Pending returns the number of scheduled events not yet run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) runs fn at the current time instead: the clock never
+// moves backwards.
+func (e *Engine) At(t trace.Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.queue, scheduled{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d trace.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Every schedules fn at now+d and then every interval thereafter, for as
+// long as fn returns true. It is the engine's idiom for daemons (the
+// network status daemons that rewrite their files every 180 seconds).
+func (e *Engine) Every(d, interval trace.Time, fn func() bool) {
+	if interval <= 0 {
+		panic("sim: Every needs a positive interval")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(interval, tick)
+		}
+	}
+	e.After(d, tick)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(scheduled)
+	e.now = it.at
+	it.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or the next event is after
+// the deadline. Events scheduled exactly at the deadline still run. The
+// clock finishes at the time of the last event run (or the deadline if
+// nothing remained).
+func (e *Engine) Run(until trace.Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}

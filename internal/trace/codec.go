@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The binary trace file format is a 5-byte header ("BSDT" plus a version
+// byte) followed by one variable-length record per event:
+//
+//	kind      1 byte
+//	Δtime     signed varint, milliseconds since the previous event
+//	fields    per-kind varints, in the field order of Table II
+//
+// Delta-encoded times and varint fields keep trace files small; the 1985
+// tracer had the same concern (§3: "Our main concern in gathering file
+// system trace information was the volume of data").
+
+var magic = [4]byte{'B', 'S', 'D', 'T'}
+
+// Version is the current binary format version.
+const Version = 1
+
+// ErrBadHeader is returned by NewReader when the stream does not start
+// with a valid trace header.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Writer encodes events to an underlying stream in the binary format.
+type Writer struct {
+	w     *bufio.Writer
+	prev  Time
+	count int64
+	buf   [binary.MaxVarintLen64]byte
+	begun bool
+	err   error
+}
+
+// NewWriter creates a Writer. The header is written on the first event so
+// that creating a writer is infallible.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) varint(x int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], x)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *Writer) uvarint(x uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], x)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+// Write encodes one event. Events should be presented in non-decreasing
+// time order; out-of-order events are still encoded correctly (the time
+// delta is signed) but most consumers require ordered streams.
+func (w *Writer) Write(e Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !e.Kind.Valid() {
+		return fmt.Errorf("trace: cannot encode event of kind %v", e.Kind)
+	}
+	if !w.begun {
+		if _, w.err = w.w.Write(magic[:]); w.err != nil {
+			return w.err
+		}
+		if w.err = w.w.WriteByte(Version); w.err != nil {
+			return w.err
+		}
+		w.begun = true
+	}
+	if w.err = w.w.WriteByte(byte(e.Kind)); w.err != nil {
+		return w.err
+	}
+	w.varint(int64(e.Time - w.prev))
+	w.prev = e.Time
+	switch e.Kind {
+	case KindCreate, KindOpen:
+		w.uvarint(uint64(e.OpenID))
+		w.uvarint(uint64(e.File))
+		w.uvarint(uint64(e.User))
+		w.uvarint(uint64(e.Mode))
+		w.varint(e.Size)
+	case KindClose:
+		w.uvarint(uint64(e.OpenID))
+		w.varint(e.NewPos)
+	case KindSeek:
+		w.uvarint(uint64(e.OpenID))
+		w.varint(e.OldPos)
+		w.varint(e.NewPos)
+	case KindUnlink:
+		w.uvarint(uint64(e.File))
+	case KindTruncate:
+		w.uvarint(uint64(e.File))
+		w.varint(e.Size)
+	case KindExec:
+		w.uvarint(uint64(e.File))
+		w.uvarint(uint64(e.User))
+		w.varint(e.Size)
+	}
+	if w.err == nil {
+		w.count++
+	}
+	return w.err
+}
+
+// Count returns the number of events successfully written.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush writes any buffered data to the underlying stream. An empty trace
+// still gets a header so that readers can distinguish "empty trace" from
+// "not a trace".
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.begun {
+		if _, w.err = w.w.Write(magic[:]); w.err != nil {
+			return w.err
+		}
+		if w.err = w.w.WriteByte(Version); w.err != nil {
+			return w.err
+		}
+		w.begun = true
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Reader decodes events from a binary trace stream.
+type Reader struct {
+	r    *bufio.Reader
+	prev Time
+}
+
+// NewReader creates a Reader, consuming and checking the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadHeader, hdr[:4])
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF at a clean end of stream. Any
+// truncation mid-record is reported as io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Event, error) {
+	kindByte, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	var e Event
+	e.Kind = Kind(kindByte)
+	if !e.Kind.Valid() {
+		return Event{}, fmt.Errorf("trace: corrupt stream: kind byte %d", kindByte)
+	}
+	dt, err := r.varint()
+	if err != nil {
+		return Event{}, err
+	}
+	e.Time = r.prev + Time(dt)
+	r.prev = e.Time
+	switch e.Kind {
+	case KindCreate, KindOpen:
+		var open, file, user, mode uint64
+		if open, err = r.uvarint(); err == nil {
+			if file, err = r.uvarint(); err == nil {
+				if user, err = r.uvarint(); err == nil {
+					if mode, err = r.uvarint(); err == nil {
+						e.Size, err = r.varint()
+					}
+				}
+			}
+		}
+		e.OpenID, e.File, e.User, e.Mode = OpenID(open), FileID(file), UserID(user), Mode(mode)
+	case KindClose:
+		var open uint64
+		if open, err = r.uvarint(); err == nil {
+			e.NewPos, err = r.varint()
+		}
+		e.OpenID = OpenID(open)
+	case KindSeek:
+		var open uint64
+		if open, err = r.uvarint(); err == nil {
+			if e.OldPos, err = r.varint(); err == nil {
+				e.NewPos, err = r.varint()
+			}
+		}
+		e.OpenID = OpenID(open)
+	case KindUnlink:
+		var file uint64
+		file, err = r.uvarint()
+		e.File = FileID(file)
+	case KindTruncate:
+		var file uint64
+		if file, err = r.uvarint(); err == nil {
+			e.Size, err = r.varint()
+		}
+		e.File = FileID(file)
+	case KindExec:
+		var file, user uint64
+		if file, err = r.uvarint(); err == nil {
+			if user, err = r.uvarint(); err == nil {
+				e.Size, err = r.varint()
+			}
+		}
+		e.File, e.User = FileID(file), UserID(user)
+	}
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Event{}, fmt.Errorf("trace: corrupt stream: %w", err)
+	}
+	return e, nil
+}
+
+func (r *Reader) varint() (int64, error) { return binary.ReadVarint(r.r) }
+
+func (r *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+// ReadAll decodes the remainder of the stream into memory.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// WriteFile encodes events to a file in the binary format.
+func WriteFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes an entire binary trace file into memory.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}

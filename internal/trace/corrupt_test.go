@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// The binary reader must never panic, whatever bytes it is fed: corrupt
+// traces should surface as errors. These tests are a deterministic,
+// offline stand-in for a fuzzer.
+
+func readAllSafely(t *testing.T, data []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("reader panicked on %d bytes: %v", len(data), r)
+		}
+	}()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	for i := 0; i < 1_000_000; i++ {
+		if _, err := r.Next(); err != nil {
+			return
+		}
+	}
+	t.Fatalf("reader produced over a million events from %d bytes", len(data))
+}
+
+func TestReaderSurvivesRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		readAllSafely(t, data)
+	}
+}
+
+func TestReaderSurvivesGarbageWithValidHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300)
+		data := make([]byte, 5+n)
+		copy(data, []byte{'B', 'S', 'D', 'T', Version})
+		rng.Read(data[5:])
+		readAllSafely(t, data)
+	}
+}
+
+func TestReaderSurvivesBitFlips(t *testing.T) {
+	events := randomTrace(3, 200)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		data := append([]byte(nil), valid...)
+		flips := rng.Intn(8) + 1
+		for f := 0; f < flips; f++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= 1 << rng.Intn(8)
+		}
+		readAllSafely(t, data)
+	}
+}
+
+func TestReaderSurvivesTruncationAtEveryByte(t *testing.T) {
+	events := randomTrace(5, 40)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut <= len(valid); cut++ {
+		readAllSafely(t, valid[:cut])
+	}
+}
+
+func TestParseEventSurvivesGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	alphabet := []byte("0123456789 -abcdefghijklmnopqrstuvwxyz\t")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(60)
+		line := make([]byte, n)
+		for j := range line {
+			line[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseEvent panicked on %q: %v", line, r)
+				}
+			}()
+			ParseEvent(string(line))
+		}()
+	}
+}
+
+// Property: whatever the reader successfully decodes from a corrupted
+// stream re-encodes without error (decoded events are always structurally
+// valid).
+func TestDecodedEventsReencodable(t *testing.T) {
+	events := randomTrace(7, 100)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		data := append([]byte(nil), valid...)
+		data[5+rng.Intn(len(data)-5)] ^= byte(1 + rng.Intn(255))
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		w2 := NewWriter(io.Discard)
+		for {
+			e, err := r.Next()
+			if err != nil {
+				break
+			}
+			if err := w2.Write(e); err != nil {
+				t.Fatalf("decoded event not re-encodable: %v (%+v)", err, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "container/heap"
+
+// Merge interleaves several time-ordered traces into one, remapping file,
+// open, and user identifiers so events from different sources can never
+// collide. It models the scenario that motivated the paper: several
+// machines' workloads converging on one shared file server. Identifier i
+// from source s becomes i*len(sources)+s, which is collision-free and
+// preserves uniqueness within each source; users on different machines
+// are distinct people and stay distinct.
+//
+// Each source must itself be in non-decreasing time order (as every trace
+// this repository produces is); ties across sources preserve source order.
+func Merge(sources ...[]Event) []Event {
+	n := len(sources)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		out := make([]Event, len(sources[0]))
+		copy(out, sources[0])
+		return out
+	}
+	remap := func(e Event, s int) Event {
+		if e.OpenID != 0 || e.Kind == KindCreate || e.Kind == KindOpen || e.Kind == KindClose || e.Kind == KindSeek {
+			e.OpenID = e.OpenID*OpenID(n) + OpenID(s)
+		}
+		if e.File != 0 {
+			e.File = e.File*FileID(n) + FileID(s)
+		}
+		e.User = e.User*UserID(n) + UserID(s)
+		return e
+	}
+
+	total := 0
+	for _, src := range sources {
+		total += len(src)
+	}
+	out := make([]Event, 0, total)
+
+	h := &mergeHeap{}
+	for s, src := range sources {
+		if len(src) > 0 {
+			h.items = append(h.items, mergeItem{events: src, source: s})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := &h.items[0]
+		out = append(out, remap(it.events[it.pos], it.source))
+		it.pos++
+		if it.pos == len(it.events) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+type mergeItem struct {
+	events []Event
+	pos    int
+	source int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	ta, tb := a.events[a.pos].Time, b.events[b.pos].Time
+	if ta != tb {
+		return ta < tb
+	}
+	return a.source < b.source
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	it := old[len(old)-1]
+	h.items = old[:len(old)-1]
+	return it
+}

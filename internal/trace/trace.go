@@ -1,0 +1,185 @@
+// Package trace defines the logical-level file system trace format from the
+// paper's Table II, together with streaming binary and text codecs and a
+// stream validator.
+//
+// The tracer deliberately records no individual read or write operations.
+// Because reading and writing in UNIX are implicitly sequential, the access
+// position recorded when a file is opened and closed, plus the before and
+// after positions of every explicit seek, completely identify the byte
+// ranges that were transferred. The analyses deduce transfers from those
+// positions and bill each transfer at the time of the next close or seek
+// event for the same open file (paper §3.1).
+//
+// The events and their fields (paper Table II):
+//
+//	create    time, open id, file id, user id, mode, file size (0)
+//	open      time, open id, file id, user id, mode, file size at open
+//	close     time, open id, final position
+//	seek      time, open id, previous position, new position
+//	unlink    time, file id
+//	truncate  time, file id, new length
+//	execve    time, file id, user id, file size
+//
+// A create is an open that makes the file new: either the file did not
+// exist, or it was truncated to length zero by the open. Times are in
+// milliseconds from the start of the trace; the 1985 tracer was accurate to
+// roughly 10 ms, and the workload generator quantizes to the same.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a trace timestamp in milliseconds from the start of the trace.
+type Time int64
+
+// Millisecond and friends are convenience units for Time arithmetic.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds returns the timestamp as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration ("1.5s", "20m0s"), which is what
+// the report tables print for intervals.
+func (t Time) String() string {
+	return (time.Duration(t) * time.Millisecond).String()
+}
+
+// FileID uniquely identifies a file for the life of the trace. IDs are
+// never reused even after the file is deleted, so lifetime analyses can
+// attribute an unlink to exactly one incarnation of a file.
+type FileID uint64
+
+// UserID identifies the account under which an operation was invoked.
+type UserID uint32
+
+// OpenID uniquely identifies one open system call, to avoid confusion
+// between concurrent accesses to the same file.
+type OpenID uint64
+
+// Kind discriminates the event types of Table II.
+type Kind uint8
+
+// The event kinds, in the order the paper's Table III tabulates them.
+const (
+	KindInvalid Kind = iota
+	KindCreate
+	KindOpen
+	KindClose
+	KindSeek
+	KindUnlink
+	KindTruncate
+	KindExec
+	numKinds
+)
+
+// NumKinds is the number of valid event kinds.
+const NumKinds = int(numKinds) - 1
+
+var kindNames = [...]string{
+	KindInvalid:  "invalid",
+	KindCreate:   "create",
+	KindOpen:     "open",
+	KindClose:    "close",
+	KindSeek:     "seek",
+	KindUnlink:   "unlink",
+	KindTruncate: "truncate",
+	KindExec:     "execve",
+}
+
+// String returns the event kind name used in the paper's tables.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined event kinds.
+func (k Kind) Valid() bool { return k > KindInvalid && k < numKinds }
+
+// Mode is the access mode requested by an open or create.
+type Mode uint8
+
+// Access modes. The paper's Table V divides accesses into read-only,
+// write-only, and read-write classes.
+const (
+	ReadOnly Mode = iota
+	WriteOnly
+	ReadWrite
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ReadOnly:
+		return "read-only"
+	case WriteOnly:
+		return "write-only"
+	case ReadWrite:
+		return "read-write"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// CanRead reports whether the mode permits reading.
+func (m Mode) CanRead() bool { return m == ReadOnly || m == ReadWrite }
+
+// CanWrite reports whether the mode permits writing.
+func (m Mode) CanWrite() bool { return m == WriteOnly || m == ReadWrite }
+
+// Event is one trace record. It is a flat union of the per-kind fields of
+// Table II; fields that a kind does not use are zero.
+type Event struct {
+	Time Time
+	Kind Kind
+
+	// OpenID is set for create, open, close, and seek.
+	OpenID OpenID
+	// File is set for create, open, unlink, truncate, and execve.
+	File FileID
+	// User is set for create, open, and execve.
+	User UserID
+	// Mode is set for create and open.
+	Mode Mode
+	// Size is the file size at open for create/open, the executed file's
+	// size for execve, and the new length for truncate.
+	Size int64
+	// OldPos is the access position before a seek.
+	OldPos int64
+	// NewPos is the access position after a seek, or the final position
+	// for a close.
+	NewPos int64
+}
+
+// String renders the event in the text trace format (see text.go).
+func (e Event) String() string { return formatEvent(e) }
+
+// Counts tallies events by kind, as in the paper's Table III.
+type Counts struct {
+	ByKind [numKinds]int64
+	Total  int64
+}
+
+// Add tallies one event.
+func (c *Counts) Add(e Event) {
+	if e.Kind.Valid() {
+		c.ByKind[e.Kind]++
+	}
+	c.Total++
+}
+
+// Fraction returns the fraction of all events that are of kind k, or 0
+// when the tally is empty.
+func (c *Counts) Fraction(k Kind) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.ByKind[k]) / float64(c.Total)
+}

@@ -1,0 +1,39 @@
+package trace
+
+// Window extracts the sub-trace in [from, to), fixing up the dangling
+// references that cutting a live stream creates: seeks and closes whose
+// open fell before the window are dropped (their open ids are unknown
+// inside the window, exactly as if the tracer had started at that moment),
+// and times are rebased so the window starts at zero.
+//
+// Windowing is how peak-hour analyses are carved from long traces; the
+// paper's measurements distinguish "the busiest part of the work week"
+// from whole-trace averages the same way.
+func Window(events []Event, from, to Time) []Event {
+	if to <= from {
+		return nil
+	}
+	var out []Event
+	open := make(map[OpenID]bool)
+	for _, e := range events {
+		if e.Time < from || e.Time >= to {
+			continue
+		}
+		switch e.Kind {
+		case KindCreate, KindOpen:
+			open[e.OpenID] = true
+		case KindClose:
+			if !open[e.OpenID] {
+				continue // opened before the window
+			}
+			delete(open, e.OpenID)
+		case KindSeek:
+			if !open[e.OpenID] {
+				continue
+			}
+		}
+		e.Time -= from
+		out = append(out, e)
+	}
+	return out
+}

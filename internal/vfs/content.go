@@ -1,0 +1,75 @@
+package vfs
+
+// content stores a regular file's materialized bytes in fixed-size chunks
+// keyed by chunk index. Only chunks that have actually been written exist;
+// everything else reads as zeros. This mirrors how FFS stores sparse files
+// and keeps simulated multi-gigabyte workloads cheap when the workload
+// never materializes data.
+
+const chunkSize = 8192
+
+type content struct {
+	chunks map[int64][]byte
+}
+
+func newContent() *content {
+	return &content{chunks: make(map[int64][]byte)}
+}
+
+func (c *content) writeAt(b []byte, off int64) {
+	for len(b) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := chunkSize - co
+		if int64(len(b)) < n {
+			n = int64(len(b))
+		}
+		chunk, ok := c.chunks[ci]
+		if !ok {
+			chunk = make([]byte, chunkSize)
+			c.chunks[ci] = chunk
+		}
+		copy(chunk[co:co+n], b[:n])
+		b = b[n:]
+		off += n
+	}
+}
+
+func (c *content) readAt(b []byte, off int64) {
+	for len(b) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := chunkSize - co
+		if int64(len(b)) < n {
+			n = int64(len(b))
+		}
+		if chunk, ok := c.chunks[ci]; ok {
+			copy(b[:n], chunk[co:co+n])
+		}
+		// Missing chunks are holes; the caller pre-zeroed the buffer.
+		b = b[n:]
+		off += n
+	}
+}
+
+// truncate discards chunks entirely beyond the new size and zeroes the
+// tail of the boundary chunk, so a later re-extension reads zeros rather
+// than stale data.
+func (c *content) truncate(size int64) {
+	boundary := size / chunkSize
+	for ci, chunk := range c.chunks {
+		switch {
+		case ci > boundary:
+			delete(c.chunks, ci)
+		case ci == boundary:
+			from := size % chunkSize
+			if from == 0 {
+				delete(c.chunks, ci)
+				continue
+			}
+			for i := from; i < chunkSize; i++ {
+				chunk[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateLookup(t *testing.T) {
+	fs := New()
+	n, created, err := fs.Create("/a")
+	if err != nil || !created {
+		t.Fatalf("Create: %v created=%v", err, created)
+	}
+	if n.Type() != TypeRegular || n.Size() != 0 || n.Nlink() != 1 {
+		t.Errorf("new file state wrong: %v %d %d", n.Type(), n.Size(), n.Nlink())
+	}
+	got, err := fs.Lookup("/a")
+	if err != nil || got != n {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if fs.NumFiles() != 1 {
+		t.Errorf("NumFiles = %d, want 1", fs.NumFiles())
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetSize(1000)
+	ino := n.Ino()
+	n2, created, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Errorf("re-create reported created")
+	}
+	if n2.Ino() != ino {
+		t.Errorf("re-create changed inode: %d -> %d", ino, n2.Ino())
+	}
+	if n2.Size() != 0 {
+		t.Errorf("re-create did not truncate: size %d", n2.Size())
+	}
+}
+
+func TestInodeNumbersNeverReused(t *testing.T) {
+	fs := New()
+	seen := map[Ino]bool{}
+	for i := 0; i < 100; i++ {
+		n, _, err := fs.Create("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fresh create only happens after unlink; re-creates reuse the
+		// inode, so unlink each round to force fresh inodes.
+		if seen[n.Ino()] && i > 0 {
+			t.Fatalf("inode %d reused", n.Ino())
+		}
+		seen[n.Ino()] = true
+		if _, err := fs.Unlink("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMkdirAndNesting(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/usr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("/usr/include"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Create("/usr/include/stdio.h"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Lookup("/usr/include/stdio.h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.IsDir() {
+		t.Errorf("file reported as dir")
+	}
+	if fs.NumDirs() != 3 { // root, usr, include
+		t.Errorf("NumDirs = %d, want 3", fs.NumDirs())
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := New()
+	if _, err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/a/b/c/d") {
+		t.Errorf("MkdirAll path missing")
+	}
+	// Idempotent.
+	if _, err := fs.MkdirAll("/a/b/c/d"); err != nil {
+		t.Errorf("MkdirAll not idempotent: %v", err)
+	}
+	// Through a file is an error.
+	if _, _, err := fs.Create("/a/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkdirAll("/a/file/x"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("MkdirAll through file = %v, want ErrNotDir", err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	fs := New()
+	cases := []struct {
+		op   func() error
+		want error
+	}{
+		{func() error { _, err := fs.Lookup("relative"); return err }, ErrInvalid},
+		{func() error { _, err := fs.Lookup("/a/../b"); return err }, ErrInvalid},
+		{func() error { _, err := fs.Lookup("/missing"); return err }, ErrNotExist},
+		{func() error { _, _, err := fs.Create("/"); return err }, ErrInvalid},
+		{func() error { _, err := fs.Mkdir("/"); return err }, ErrExist},
+		{func() error { _, err := fs.Unlink("/"); return err }, ErrInvalid},
+		{func() error { _, err := fs.Unlink("/missing"); return err }, ErrNotExist},
+		{func() error { return fs.Rmdir("/missing") }, ErrNotExist},
+		{func() error { _, err := fs.Truncate("/missing", 0); return err }, ErrNotExist},
+		{func() error { _, err := fs.Truncate("/", 0); return err }, ErrIsDir},
+	}
+	for i, c := range cases {
+		if err := c.op(); !errors.Is(err, c.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, c.want)
+		}
+	}
+}
+
+func TestLookupRoot(t *testing.T) {
+	fs := New()
+	n, err := fs.Lookup("/")
+	if err != nil || !n.IsDir() || n.Ino() != 1 {
+		t.Fatalf("root lookup: %v %v", n, err)
+	}
+}
+
+func TestCreateOverDirFails(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Create("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Create over dir = %v, want ErrIsDir", err)
+	}
+}
+
+func TestUnlinkSemantics(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/tmp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := fs.Unlink("/tmp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != n {
+		t.Errorf("Unlink returned wrong inode")
+	}
+	if n.Nlink() != 0 {
+		t.Errorf("Nlink = %d after unlink, want 0", n.Nlink())
+	}
+	if fs.Exists("/tmp1") {
+		t.Errorf("file still visible after unlink")
+	}
+	if fs.NumFiles() != 0 {
+		t.Errorf("NumFiles = %d, want 0", fs.NumFiles())
+	}
+	// The inode is still usable by holders of a reference (open fds).
+	if _, err := n.WriteAt([]byte("x"), 0); err != nil {
+		t.Errorf("write to unlinked inode failed: %v", err)
+	}
+}
+
+func TestUnlinkDirFails(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Unlink("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Unlink dir = %v, want ErrIsDir", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Create("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("Rmdir non-empty = %v, want ErrNotEmpty", err)
+	}
+	if _, err := fs.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatalf("Rmdir: %v", err)
+	}
+	if fs.Exists("/d") {
+		t.Errorf("dir still exists")
+	}
+	if fs.NumDirs() != 1 {
+		t.Errorf("NumDirs = %d, want 1 (root)", fs.NumDirs())
+	}
+	// Rmdir of a file is ErrNotDir.
+	if _, _, err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/f"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("Rmdir file = %v, want ErrNotDir", err)
+	}
+}
+
+func TestLink(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Nlink() != 2 {
+		t.Errorf("Nlink = %d, want 2", n.Nlink())
+	}
+	b, err := fs.Lookup("/b")
+	if err != nil || b != n {
+		t.Fatalf("link does not alias: %v", err)
+	}
+	if _, err := fs.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Nlink() != 1 {
+		t.Errorf("Nlink after one unlink = %d, want 1", n.Nlink())
+	}
+	if fs.NumFiles() != 1 {
+		t.Errorf("NumFiles = %d, want 1 (still linked at /b)", fs.NumFiles())
+	}
+	// Linking a directory fails.
+	if _, err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d", "/d2"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Link dir = %v, want ErrIsDir", err)
+	}
+	// Linking over an existing name fails.
+	if err := fs.Link("/b", "/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("Link over existing = %v, want ErrExist", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") {
+		t.Errorf("old name still exists")
+	}
+	got, err := fs.Lookup("/d/b")
+	if err != nil || got != n {
+		t.Fatalf("rename target wrong: %v", err)
+	}
+	// Destination exists.
+	if _, _, err := fs.Create("/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/c", "/d/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("Rename over existing = %v, want ErrExist", err)
+	}
+	// Missing source.
+	if err := fs.Rename("/missing", "/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Rename missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/c", "/a", "/b"} {
+		if _, _, err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
+		t.Errorf("ReadDir = %v", names)
+	}
+	if _, err := fs.ReadDir("/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir on file = %v, want ErrNotDir", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, 4.2 BSD")
+	if _, err := n.WriteAt(msg, 100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 100+int64(len(msg)) {
+		t.Errorf("Size = %d", n.Size())
+	}
+	buf := make([]byte, len(msg))
+	nr, err := n.ReadAt(buf, 100)
+	if err != nil || nr != len(msg) {
+		t.Fatalf("ReadAt: %d %v", nr, err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("ReadAt = %q, want %q", buf, msg)
+	}
+	// The hole before offset 100 reads as zeros.
+	hole := make([]byte, 100)
+	nr, err = n.ReadAt(hole, 0)
+	if err != nil || nr != 100 {
+		t.Fatalf("ReadAt hole: %d %v", nr, err)
+	}
+	for i, b := range hole {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestWriteAcrossChunks(t *testing.T) {
+	fs := New()
+	n, _, err := fs.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*chunkSize+17)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	off := int64(chunkSize - 5)
+	if _, err := n.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := n.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("cross-chunk round trip mismatch")
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := New()
+	n, _, _ := fs.Create("/f")
+	n.SetSize(10)
+	buf := make([]byte, 20)
+	nr, err := n.ReadAt(buf, 5)
+	if err != nil || nr != 5 {
+		t.Errorf("short read = %d %v, want 5 nil", nr, err)
+	}
+	nr, err = n.ReadAt(buf, 10)
+	if err != nil || nr != 0 {
+		t.Errorf("read at EOF = %d %v, want 0 nil", nr, err)
+	}
+	if _, err := n.ReadAt(buf, -1); err == nil {
+		t.Errorf("negative offset accepted")
+	}
+}
+
+func TestTruncateZeroesStaleData(t *testing.T) {
+	fs := New()
+	n, _, _ := fs.Create("/f")
+	data := bytes.Repeat([]byte{0xAB}, 2*chunkSize)
+	if _, err := n.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Truncate("/f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 100 {
+		t.Errorf("Size = %d, want 100", n.Size())
+	}
+	// Re-extend and confirm the formerly-written region reads zero.
+	n.SetSize(2 * chunkSize)
+	buf := make([]byte, 50)
+	if _, err := n.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("stale byte at %d: %d", i, b)
+		}
+	}
+	// Bytes before the truncation point survive.
+	if _, err := n.ReadAt(buf[:1], 50); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Errorf("surviving byte = %d, want 0xAB", buf[0])
+	}
+}
+
+func TestSetSizeDoesNotMaterialize(t *testing.T) {
+	fs := New()
+	n, _, _ := fs.Create("/sparse")
+	n.SetSize(1 << 30) // a gigabyte, instantly
+	if n.content != nil && len(n.content.chunks) != 0 {
+		t.Errorf("SetSize materialized chunks")
+	}
+	buf := make([]byte, 10)
+	nr, err := n.ReadAt(buf, 1<<20)
+	if err != nil || nr != 10 {
+		t.Fatalf("ReadAt sparse: %d %v", nr, err)
+	}
+}
+
+func TestDirWriteReadFails(t *testing.T) {
+	fs := New()
+	d, _ := fs.Mkdir("/d")
+	if _, err := d.WriteAt([]byte("x"), 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("WriteAt on dir = %v", err)
+	}
+	if _, err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("ReadAt on dir = %v", err)
+	}
+}
+
+// Property: WriteAt then ReadAt returns what was written, for arbitrary
+// offsets and lengths within a bounded window.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(seed int64, rawOff uint32, rawLen uint16) bool {
+		fs := New()
+		n, _, _ := fs.Create("/f")
+		off := int64(rawOff % (4 * chunkSize))
+		length := int(rawLen%2048) + 1
+		data := make([]byte, length)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(data)
+		if _, err := n.WriteAt(data, off); err != nil {
+			return false
+		}
+		got := make([]byte, length)
+		nr, err := n.ReadAt(got, off)
+		return err == nil && nr == length && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a random sequence of creates/unlinks keeps NumFiles equal to
+// the count of distinct visible paths.
+func TestNumFilesInvariant(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		fs := New()
+		rng := rand.New(rand.NewSource(seed))
+		paths := []string{"/a", "/b", "/c", "/d"}
+		for _, op := range ops {
+			p := paths[rng.Intn(len(paths))]
+			if op%2 == 0 {
+				fs.Create(p)
+			} else {
+				fs.Unlink(p)
+			}
+		}
+		visible := int64(0)
+		for _, p := range paths {
+			if fs.Exists(p) {
+				visible++
+			}
+		}
+		return fs.NumFiles() == visible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/a/b")
+	fs.Create("/a/b/f1")
+	fs.Create("/a/f2")
+	fs.Create("/z")
+	var paths []string
+	fs.Walk(func(path string, n *Inode) {
+		paths = append(paths, path)
+	})
+	want := []string{"/", "/a", "/a/b", "/a/b/f1", "/a/f2", "/z"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("Walk order = %v, want %v", paths, want)
+	}
+	// Deterministic across runs.
+	var again []string
+	fs.Walk(func(path string, n *Inode) { again = append(again, path) })
+	if !reflect.DeepEqual(paths, again) {
+		t.Errorf("Walk not deterministic")
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"bsdtrace/internal/trace"
+)
+
+// startDaemons launches the system's background activity:
+//
+//   - the network status daemon, which rewrites each of ~20 host status
+//     files every three minutes. This is the 4.2 BSD peculiarity behind
+//     the paper's Figure 4 spike: 25-35% of all new files have lifetimes
+//     of almost exactly 180 seconds, because each rewrite overwrites the
+//     file written three minutes earlier;
+//   - a cron-style accounting daemon that appends to the login log and
+//     periodically scans an administrative table.
+//
+// Daemons run as user 0, which the activity analysis counts like any
+// other user (as the 1985 tracer did — the daemons are visible in the
+// paper's numbers).
+func (g *generator) startDaemons() {
+	src := g.src.Fork()
+
+	// Status daemon: each cycle rewrites the status files, staggered a
+	// few hundred milliseconds apart so events do not pile on one tick.
+	g.eng.Every(g.prof.StatusInterval, g.prof.StatusInterval, func() bool {
+		p := g.k.NewProc(0)
+		for i, path := range g.img.status {
+			path := path
+			stagger := trace.Time(i*120+src.Intn(100)) * trace.Millisecond
+			g.eng.After(stagger, func() {
+				g.writeWhole(src, p, path, int64(1500+src.Intn(800)))
+			})
+		}
+		return true
+	})
+
+	// Accounting daemon: every minute or so, append accounting records
+	// and occasionally scan part of an administrative table.
+	g.eng.Every(30*trace.Second, 55*trace.Second, func() bool {
+		p := g.k.NewProc(0)
+		g.appendFile(src, p, g.img.loginLog, int64(64+src.Intn(256)))
+		if src.Bool(0.3) {
+			adm := g.img.admin[src.Intn(len(g.img.admin))]
+			g.adminLookup(src, g.k.NewProc(0), adm, 2+src.Intn(4), 0.1)
+		}
+		return true
+	})
+}
