@@ -23,6 +23,7 @@ import (
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
+	"bsdtrace/internal/xfer"
 )
 
 // benchDuration keeps each benchmark iteration around a second on a
@@ -37,8 +38,11 @@ var (
 )
 
 // benchSetup generates the three machine traces once per test binary.
+// Every benchmark that uses it exercises the simulators, so allocation
+// counts are reported alongside time without needing -benchmem.
 func benchSetup(b *testing.B) {
 	b.Helper()
+	b.ReportAllocs()
 	benchOnce.Do(func() {
 		for _, name := range []string{"A5", "E3", "C4"} {
 			res, err := workload.Generate(workload.Config{
@@ -544,6 +548,85 @@ func BenchmarkDiskless(b *testing.B) {
 	}
 	b.ReportMetric(100*hit, "client-hit-%")
 	b.ReportMetric(100*endToEnd, "end-to-end-miss-%")
+}
+
+// benchPaperConfigs returns the combined Table VI + Table VII + Figure 7
+// configuration set: the 60 cache configurations the paper's Section 6
+// evaluates.
+func benchPaperConfigs() []cachesim.Config {
+	var cfgs []cachesim.Config
+	for _, cs := range cachesim.PaperCacheSizes() {
+		for _, p := range cachesim.PaperPolicies() {
+			cfgs = append(cfgs, cachesim.Config{
+				BlockSize: 4096, CacheSize: cs, Write: p.Write, FlushInterval: p.Interval,
+			})
+		}
+	}
+	for _, bs := range cachesim.PaperBlockSizes() {
+		for _, cs := range cachesim.PaperBlockCacheSizes() {
+			cfgs = append(cfgs, cachesim.Config{BlockSize: bs, CacheSize: cs, Write: cachesim.DelayedWrite})
+		}
+	}
+	for _, cs := range cachesim.PaperCacheSizes() {
+		for j := 0; j < 2; j++ {
+			cfgs = append(cfgs, cachesim.Config{
+				BlockSize: 4096, CacheSize: cs, Write: cachesim.DelayedWrite, SimulatePaging: j == 1,
+			})
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkNaiveSweep runs the combined Section-6 sweep the
+// pre-tape way: every configuration re-reconstructs the transfer stream
+// from the raw events (Simulate builds a private tape per call). The
+// configurations still run on parallel workers, so the comparison with
+// BenchmarkTapeReuse isolates the cost of re-reconstruction, not of
+// serial execution.
+func BenchmarkNaiveSweep(b *testing.B) {
+	benchSetup(b)
+	cfgs := benchPaperConfigs()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					if _, err := cachesim.Simulate(benchA5, cfgs[j]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for j := range cfgs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+// BenchmarkTapeReuse runs the same combined sweep through the transfer
+// tape: one reconstruction of the event stream, replayed into all 60
+// configurations by MultiSimulate. The tape build is inside the timed
+// loop, so the speedup over BenchmarkNaiveSweep is the end-to-end one.
+func BenchmarkTapeReuse(b *testing.B) {
+	benchSetup(b)
+	cfgs := benchPaperConfigs()
+	for i := 0; i < b.N; i++ {
+		tape, err := xfer.NewTape(benchA5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cachesim.MultiSimulate(tape, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
 }
 
 // BenchmarkWorkingSet computes Denning's W(T) curve over the A5 trace.

@@ -26,6 +26,7 @@ import (
 	"bsdtrace/internal/cachesim"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
 )
 
 func parseSize(s string) (int64, error) {
@@ -64,10 +65,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
 	}
+	// Reconstruct the transfer tape once; every configuration below —
+	// single run or sweep — replays the same tape.
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fscachesim: malformed trace: %v\n", err)
+		os.Exit(1)
+	}
 	w := os.Stdout
 
 	if *sweep != "" {
-		if err := runSweep(w, events, *sweep); err != nil {
+		if err := runSweep(w, tape, *sweep); err != nil {
 			fmt.Fprintln(os.Stderr, "fscachesim:", err)
 			os.Exit(1)
 		}
@@ -109,7 +117,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	r, err := cachesim.Simulate(events, cfg)
+	r, err := cachesim.SimulateTape(tape, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
@@ -126,19 +134,19 @@ func main() {
 	fmt.Fprintf(w, "blocks resident > %v: %s\n", r.Config.ResidencyThreshold, report.Pct(r.ResidencyOver))
 }
 
-func runSweep(w *os.File, events []trace.Event, name string) error {
+func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 	switch strings.ToLower(name) {
 	case "tablevi", "vi":
 		sizes := cachesim.PaperCacheSizes()
 		pols := cachesim.PaperPolicies()
-		res, err := cachesim.PolicySweep(events, 4096, sizes, pols)
+		res, err := cachesim.PolicySweepTape(tape, 4096, sizes, pols)
 		if err != nil {
 			return err
 		}
 		report.TableVI(sizes, pols, res).Render(w)
 		return report.Figure5(sizes, pols, res).Render(w)
 	case "tablevii", "vii":
-		res, err := cachesim.BlockSizeSweep(events, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes())
+		res, err := cachesim.BlockSizeSweepTape(tape, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes())
 		if err != nil {
 			return err
 		}
@@ -146,13 +154,13 @@ func runSweep(w *os.File, events []trace.Event, name string) error {
 		return report.Figure6(res).Render(w)
 	case "fig7", "paging":
 		sizes := cachesim.PaperCacheSizes()
-		res, err := cachesim.PagingSweep(events, 4096, sizes)
+		res, err := cachesim.PagingSweepTape(tape, 4096, sizes)
 		if err != nil {
 			return err
 		}
 		return report.Figure7(sizes, res).Render(w)
 	case "replacement":
-		res, err := cachesim.ReplacementSweep(events, 4096, 2<<20, 1)
+		res, err := cachesim.ReplacementSweepTape(tape, 4096, 2<<20, 1)
 		if err != nil {
 			return err
 		}
@@ -167,7 +175,7 @@ func runSweep(w *os.File, events []trace.Event, name string) error {
 		}
 		return t.Render(w)
 	case "stack":
-		r, err := cachesim.StackDistances(events, 4096)
+		r, err := cachesim.StackDistancesTape(tape, 4096)
 		if err != nil {
 			return err
 		}
@@ -190,7 +198,7 @@ func runSweep(w *os.File, events []trace.Event, name string) error {
 			1 * trace.Second, 5 * trace.Second, 30 * trace.Second,
 			trace.Minute, 5 * trace.Minute, 15 * trace.Minute, trace.Hour,
 		}
-		res, err := cachesim.FlushIntervalSweep(events, 4096, 2<<20, intervals)
+		res, err := cachesim.FlushIntervalSweepTape(tape, 4096, 2<<20, intervals)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
+	"bsdtrace/internal/xfer"
 )
 
 func TestParseSize(t *testing.T) {
@@ -37,13 +38,17 @@ func TestRunSweeps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tape, err := xfer.NewTape(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// runSweep writes to an *os.File; use a temp file and read it back.
 	for _, sweep := range []string{"tableVI", "tableVII", "fig7", "replacement", "flush", "stack"} {
 		f, err := os.Create(filepath.Join(t.TempDir(), sweep+".txt"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := runSweep(f, res.Events, sweep); err != nil {
+		if err := runSweep(f, tape, sweep); err != nil {
 			t.Fatalf("%s: %v", sweep, err)
 		}
 		f.Close()
@@ -58,7 +63,7 @@ func TestRunSweeps(t *testing.T) {
 			t.Errorf("%s output contains NaN", sweep)
 		}
 	}
-	if err := runSweep(os.Stdout, res.Events, "nope"); err == nil {
+	if err := runSweep(os.Stdout, tape, "nope"); err == nil {
 		t.Errorf("unknown sweep accepted")
 	}
 }

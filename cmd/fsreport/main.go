@@ -5,12 +5,18 @@
 // (the paper reports cache results for A5 only; the three traces produce
 // nearly indistinguishable results).
 //
+// The three traces generate on parallel workers, and every cache
+// simulation replays the A5 transfer tape (xfer.Tape), built once and
+// shared by all configurations; -only runs only the simulations the
+// requested item needs.
+//
 // Usage:
 //
 //	fsreport                      # full report, 8-hour traces
 //	fsreport -duration 2h         # quicker
 //	fsreport -only tableVI        # a single table or figure
 //	fsreport -ablations           # include the beyond-the-paper ablations
+//	fsreport -cpuprofile cpu.pb.gz   # profile the run
 package main
 
 import (
@@ -18,7 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"bsdtrace/internal/analyzer"
@@ -29,17 +38,20 @@ import (
 	"bsdtrace/internal/stats"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
+	"bsdtrace/internal/xfer"
 )
 
 func main() {
 	var (
-		duration  = flag.Duration("duration", 8*time.Hour, "simulated time span per trace")
-		seed      = flag.Int64("seed", 1, "random seed")
-		only      = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
-		ablations = flag.Bool("ablations", false, "also run the beyond-the-paper ablations (A1, A2, A3, A4)")
-		outPath   = flag.String("o", "", "write the report to a file instead of stdout")
-		dataDir   = flag.String("data", "", "also write every table and figure as CSV files into this directory")
-		stability = flag.Int("stability", 0, "instead of the report, run the headline metrics across N seeds and print mean ± sd")
+		duration   = flag.Duration("duration", 8*time.Hour, "simulated time span per trace")
+		seed       = flag.Int64("seed", 1, "random seed")
+		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
+		ablations  = flag.Bool("ablations", false, "also run the beyond-the-paper ablations (A1, A2, A3, A4)")
+		outPath    = flag.String("o", "", "write the report to a file instead of stdout")
+		dataDir    = flag.String("data", "", "also write every table and figure as CSV files into this directory")
+		stability  = flag.Int("stability", 0, "instead of the report, run the headline metrics across N seeds and print mean ± sd")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -54,22 +66,98 @@ func main() {
 		w = f
 	}
 
-	if *stability > 0 {
-		if err := runStability(w, *duration, *seed, *stability); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "fsreport:", err)
 			os.Exit(1)
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fsreport:", err)
+			os.Exit(1)
+		}
 	}
-	if err := run(w, *duration, *seed, *only, *ablations, *dataDir); err != nil {
+
+	var err error
+	if *stability > 0 {
+		err = runStability(w, *duration, *seed, *stability)
+	} else {
+		err = run(w, *duration, *seed, *only, *ablations, *dataDir)
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "fsreport:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "fsreport:", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsreport:", err)
 		os.Exit(1)
 	}
 }
 
-// runStability regenerates the A5 workload with n different seeds and
-// reports the spread of the headline metrics: the reproduction's shapes
-// are properties of the workload model, not of one lucky seed.
+// parallel runs jobs 0..n-1 on up to GOMAXPROCS workers and returns the
+// first error. Jobs write into index-ordered slots, so parallelism never
+// changes any output.
+func parallel(n int, job func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// runStability regenerates the A5 workload with n different seeds on
+// parallel workers and reports the spread of the headline metrics: the
+// reproduction's shapes are properties of the workload model, not of one
+// lucky seed. Per-seed values aggregate in seed order, so the output is
+// identical at any worker count.
 func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) error {
 	metrics := []struct {
 		name string
@@ -85,7 +173,8 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 	for i := range metrics {
 		metrics[i].agg = &stats.Welford{}
 	}
-	for i := 0; i < n; i++ {
+	seedVals := make([][]float64, n)
+	err := parallel(n, func(i int) error {
 		seed := baseSeed + int64(i)
 		res, err := workload.Generate(workload.Config{
 			Profile: "A5", Seed: seed, Duration: trace.Time(duration.Milliseconds()),
@@ -101,15 +190,27 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 			100 * (lf.FractionAtOrBelow(182) - lf.FractionAtOrBelow(178)),
 			a.Activity.Long.PerUserThroughput.Mean(),
 		}
-		for _, cs := range []int64{2 << 20, 4 << 20} {
-			r, err := cachesim.Simulate(res.Events, cachesim.Config{
-				BlockSize: 4096, CacheSize: cs, Write: cachesim.DelayedWrite,
-			})
-			if err != nil {
-				return err
-			}
+		tape, err := xfer.NewTape(res.Events)
+		if err != nil {
+			return fmt.Errorf("cachesim: malformed trace: %v", err)
+		}
+		rs, err := cachesim.MultiSimulate(tape, []cachesim.Config{
+			{BlockSize: 4096, CacheSize: 2 << 20, Write: cachesim.DelayedWrite},
+			{BlockSize: 4096, CacheSize: 4 << 20, Write: cachesim.DelayedWrite},
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
 			vals = append(vals, 100*r.MissRatio())
 		}
+		seedVals[i] = vals
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, vals := range seedVals {
 		for j, v := range vals {
 			metrics[j].agg.Add(v)
 		}
@@ -134,41 +235,66 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 	fmt.Fprintf(w, "Reproduction of \"A Trace-Driven Analysis of the UNIX 4.2 BSD File System\" (SOSP 1985)\n")
 	fmt.Fprintf(w, "Synthetic traces: %v per machine, seed %d (see DESIGN.md for the substitution rationale)\n\n", duration, seed)
 
-	tr := report.Traces{}
-	var machineEvents [][]trace.Event
+	// Generate and analyze the three machine traces on parallel workers.
+	names := []string{"A5", "E3", "C4"}
+	machineEvents := make([][]trace.Event, len(names))
+	analyses := make([]*analyzer.Analysis, len(names))
 	var a5Static []int64
-	for _, name := range []string{"A5", "E3", "C4"} {
+	err := parallel(len(names), func(i int) error {
 		res, err := workload.Generate(workload.Config{
-			Profile:  name,
+			Profile:  names[i],
 			Seed:     seed,
 			Duration: trace.Time(duration.Milliseconds()),
 		})
 		if err != nil {
 			return err
 		}
-		machineEvents = append(machineEvents, res.Events)
-		tr.Names = append(tr.Names, name)
-		tr.Analyses = append(tr.Analyses, analyzer.Analyze(res.Events, analyzer.Options{}))
-		if name == "A5" {
+		machineEvents[i] = res.Events
+		analyses[i] = analyzer.Analyze(res.Events, analyzer.Options{})
+		if names[i] == "A5" {
 			a5Static = res.StaticSizes
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	tr := report.Traces{Names: names, Analyses: analyses}
 	a5Events := machineEvents[0]
 
-	// Section 6 sweeps on A5.
+	// Section 6 sweeps on A5, off one shared transfer tape — and only
+	// the sweeps the requested items actually need (-data exports them
+	// all).
 	cacheSizes := cachesim.PaperCacheSizes()
 	policies := cachesim.PaperPolicies()
-	policy, err := cachesim.PolicySweep(a5Events, 4096, cacheSizes, policies)
-	if err != nil {
-		return err
+	needPolicy := dataDir != "" || want("tableI") || want("tableVI") || want("fig5") ||
+		want("residency") || want("metadata")
+	needBlock := dataDir != "" || want("tableI") || want("tableVII") || want("fig6")
+	needPaging := dataDir != "" || want("fig7")
+
+	var a5Tape *xfer.Tape
+	if needPolicy || needBlock || needPaging || want("workingset") || ablations {
+		if a5Tape, err = xfer.NewTape(a5Events); err != nil {
+			return fmt.Errorf("cachesim: malformed trace: %v", err)
+		}
 	}
-	block, err := cachesim.BlockSizeSweep(a5Events, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes())
-	if err != nil {
-		return err
+	var policy [][]*cachesim.Result
+	var block *cachesim.BlockSizeSweepResult
+	var paging [][2]*cachesim.Result
+	if needPolicy {
+		if policy, err = cachesim.PolicySweepTape(a5Tape, 4096, cacheSizes, policies); err != nil {
+			return err
+		}
 	}
-	paging, err := cachesim.PagingSweep(a5Events, 4096, cacheSizes)
-	if err != nil {
-		return err
+	if needBlock {
+		if block, err = cachesim.BlockSizeSweepTape(a5Tape, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes()); err != nil {
+			return err
+		}
+	}
+	if needPaging {
+		if paging, err = cachesim.PagingSweepTape(a5Tape, 4096, cacheSizes); err != nil {
+			return err
+		}
 	}
 
 	if want("tableI") {
@@ -265,18 +391,38 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 			return err
 		}
 	}
+
+	// The server and diskless sections replay all three machines; they
+	// share one tape per machine (A5's is the sweep tape).
+	var machineTapes []*xfer.Tape
+	if want("server") || want("diskless") {
+		machineTapes = make([]*xfer.Tape, len(machineEvents))
+		machineTapes[0] = a5Tape
+		if err := parallel(len(machineEvents), func(i int) error {
+			if machineTapes[i] != nil {
+				return nil
+			}
+			var err error
+			if machineTapes[i], err = xfer.NewTape(machineEvents[i]); err != nil {
+				return fmt.Errorf("cachesim: malformed trace: %v", err)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
 	if want("server") {
-		if err := runServer(w, tr.Names, machineEvents); err != nil {
+		if err := runServer(w, tr.Names, machineEvents, machineTapes); err != nil {
 			return err
 		}
 	}
 	if want("diskless") {
-		if err := runDiskless(w, duration, machineEvents); err != nil {
+		if err := runDiskless(w, duration, machineTapes); err != nil {
 			return err
 		}
 	}
 	if want("workingset") {
-		if err := runWorkingSet(w, a5Events); err != nil {
+		if err := runWorkingSet(w, a5Tape); err != nil {
 			return err
 		}
 	}
@@ -287,7 +433,7 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 	}
 
 	if ablations {
-		if err := runAblations(w, a5Events); err != nil {
+		if err := runAblations(w, a5Tape); err != nil {
 			return err
 		}
 	}
@@ -299,7 +445,8 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 // I/O of the UNIX-sized cache — the paper's concluding estimate that
 // "more than half of all disk block references could come from these
 // other accesses" (i-nodes, directories, and paging, which Figure 7
-// covers separately).
+// covers separately). The three cache scales regenerate on parallel
+// workers (each run drives its own simulator).
 func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cachesim.Result) error {
 	t := &report.Table{
 		Title:  "Metadata I/O: name lookup, i-nodes, and directories (paper §3.2 and conclusion).",
@@ -310,11 +457,13 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cac
 			"Leffler et al. measured an 85% directory cache hit ratio; the paper estimates " +
 			"metadata plus paging could exceed half of all disk block references.",
 	}
-	for _, entries := range []int{40, 120, 400} {
+	scales := []int{40, 120, 400}
+	sims := make([]*namei.Simulator, len(scales))
+	if err := parallel(len(scales), func(i int) error {
 		sim := namei.New(namei.Config{
-			NameEntries:  entries,
-			InodeEntries: entries / 2,
-			DirBlocks:    entries / 6,
+			NameEntries:  scales[i],
+			InodeEntries: scales[i] / 2,
+			DirBlocks:    scales[i] / 6,
 		})
 		if _, err := workload.Generate(workload.Config{
 			Profile: "A5", Seed: seed,
@@ -323,6 +472,13 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cac
 		}); err != nil {
 			return err
 		}
+		sims[i] = sim
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, entries := range scales {
+		sim := sims[i]
 		meta := sim.Stats.DiskIOs()
 		share := float64(meta) / float64(meta+unixCache.DiskIOs())
 		t.AddRow(
@@ -362,7 +518,7 @@ func runFragmentation(w io.Writer, events []trace.Event) error {
 // single server cache is compared against per-machine caches of the same
 // total memory. Statistical multiplexing — machines are bursty at
 // different moments — is the shared cache's advantage.
-func runServer(w io.Writer, names []string, machines [][]trace.Event) error {
+func runServer(w io.Writer, names []string, machines [][]trace.Event, tapes []*xfer.Tape) error {
 	merged := trace.Merge(machines...)
 	const blockSize = 4096
 	perMachine := int64(2 << 20)
@@ -376,15 +532,44 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event) error {
 			"beats splitting it across machines because bursts interleave.",
 	}
 
-	// Split: one private cache per machine, summed.
-	var splitIOs, splitAccesses int64
-	for i, events := range machines {
-		r, err := cachesim.Simulate(events, cachesim.Config{
-			BlockSize: blockSize, CacheSize: perMachine, Write: cachesim.DelayedWrite,
-		})
+	// Split: one private cache per machine, summed; and the merged trace
+	// against shared caches of increasing size. All configurations run
+	// on parallel workers.
+	sharedSizes := []int64{perMachine, perMachine * int64(len(machines)), 16 << 20}
+	private := make([]*cachesim.Result, len(tapes))
+	shared := make([]*cachesim.Result, len(sharedSizes))
+	jobs := len(tapes) + 1
+	if err := parallel(jobs, func(i int) error {
+		if i < len(tapes) {
+			r, err := cachesim.SimulateTape(tapes[i], cachesim.Config{
+				BlockSize: blockSize, CacheSize: perMachine, Write: cachesim.DelayedWrite,
+			})
+			if err != nil {
+				return err
+			}
+			private[i] = r
+			return nil
+		}
+		mergedTape, err := xfer.NewTape(merged)
+		if err != nil {
+			return fmt.Errorf("cachesim: malformed trace: %v", err)
+		}
+		cfgs := make([]cachesim.Config, len(sharedSizes))
+		for j, cs := range sharedSizes {
+			cfgs[j] = cachesim.Config{BlockSize: blockSize, CacheSize: cs, Write: cachesim.DelayedWrite}
+		}
+		rs, err := cachesim.MultiSimulate(mergedTape, cfgs)
 		if err != nil {
 			return err
 		}
+		copy(shared, rs)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	var splitIOs, splitAccesses int64
+	for i, r := range private {
 		splitIOs += r.DiskIOs()
 		splitAccesses += r.LogicalAccesses
 		t.AddRow(fmt.Sprintf("private cache, %s", names[i]), report.Size(perMachine),
@@ -393,15 +578,9 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event) error {
 	t.AddRow("private caches combined", report.Size(perMachine*int64(len(machines))),
 		report.Count(splitIOs), report.Pct(float64(splitIOs)/float64(splitAccesses)))
 
-	for _, cs := range []int64{perMachine, perMachine * int64(len(machines)), 16 << 20} {
-		r, err := cachesim.Simulate(merged, cachesim.Config{
-			BlockSize: blockSize, CacheSize: cs, Write: cachesim.DelayedWrite,
-		})
-		if err != nil {
-			return err
-		}
+	for i, cs := range sharedSizes {
 		t.AddRow("shared server cache", report.Size(cs),
-			report.Count(r.DiskIOs()), report.Pct(r.MissRatio()))
+			report.Count(shared[i].DiskIOs()), report.Pct(shared[i].MissRatio()))
 	}
 	return t.Render(w)
 }
@@ -411,7 +590,7 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event) error {
 // paper's two introduction questions at once — how much network bandwidth
 // a diskless workstation needs, and what the server's cache does to disk
 // traffic.
-func runDiskless(w io.Writer, duration time.Duration, machines [][]trace.Event) error {
+func runDiskless(w io.Writer, duration time.Duration, tapes []*xfer.Tape) error {
 	t := &report.Table{
 		Title:  "Diskless workstations: client cache x one file server (4-kbyte blocks, 8-Mbyte delayed-write server).",
 		Header: []string{"Client cache", "Client hit ratio", "Network blocks", "Avg network B/s", "Server disk I/Os", "End-to-end miss"},
@@ -422,16 +601,25 @@ func runDiskless(w io.Writer, duration time.Duration, machines [][]trace.Event) 
 			"then removes most residual disk traffic.",
 	}
 	secs := duration.Seconds()
-	for _, cc := range []int64{128 << 10, 512 << 10, 1 << 20, 2 << 20} {
-		r, err := cachesim.TwoLevelSimulate(machines, cachesim.TwoLevelConfig{
+	clientSizes := []int64{128 << 10, 512 << 10, 1 << 20, 2 << 20}
+	results := make([]*cachesim.TwoLevelResult, len(clientSizes))
+	if err := parallel(len(clientSizes), func(i int) error {
+		r, err := cachesim.TwoLevelSimulateTapes(tapes, cachesim.TwoLevelConfig{
 			BlockSize:   4096,
-			ClientCache: cc,
+			ClientCache: clientSizes[i],
 			ServerCache: 8 << 20,
 			Write:       cachesim.DelayedWrite,
 		})
 		if err != nil {
 			return err
 		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, cc := range clientSizes {
+		r := results[i]
 		netBps := float64(r.NetworkBlocks) * 4096 / secs
 		t.AddRow(report.Size(cc),
 			report.Pct(r.ClientHitRatio()),
@@ -447,11 +635,11 @@ func runDiskless(w io.Writer, duration time.Duration, machines [][]trace.Event) 
 // window of each length. It is the mechanistic explanation for Table VI's
 // knee — the miss-ratio curve bends where the cache first covers the
 // working set of the reuse horizon that matters.
-func runWorkingSet(w io.Writer, events []trace.Event) error {
+func runWorkingSet(w io.Writer, tape *xfer.Tape) error {
 	windows := []trace.Time{
 		10 * trace.Second, trace.Minute, 10 * trace.Minute, trace.Hour,
 	}
-	ws, err := cachesim.WorkingSet(events, 4096, windows)
+	ws, err := cachesim.WorkingSetTape(tape, 4096, windows)
 	if err != nil {
 		return err
 	}
@@ -501,9 +689,9 @@ func runStatic(w io.Writer, staticSizes []int64, a *analyzer.Analysis) error {
 	return t.Render(w)
 }
 
-func runAblations(w io.Writer, events []trace.Event) error {
+func runAblations(w io.Writer, tape *xfer.Tape) error {
 	// A1: replacement policy.
-	rep, err := cachesim.ReplacementSweep(events, 4096, 2<<20, 1)
+	rep, err := cachesim.ReplacementSweepTape(tape, 4096, 2<<20, 1)
 	if err != nil {
 		return err
 	}
@@ -523,7 +711,7 @@ func runAblations(w io.Writer, events []trace.Event) error {
 		1 * trace.Second, 5 * trace.Second, 30 * trace.Second,
 		trace.Minute, 5 * trace.Minute, 15 * trace.Minute, trace.Hour,
 	}
-	fl, err := cachesim.FlushIntervalSweep(events, 4096, 2<<20, intervals)
+	fl, err := cachesim.FlushIntervalSweepTape(tape, 4096, 2<<20, intervals)
 	if err != nil {
 		return err
 	}
@@ -552,7 +740,7 @@ func runAblations(w io.Writer, events []trace.Event) error {
 		name  string
 		start bool
 	}{{"at run end (paper)", false}, {"at run start", true}} {
-		r, err := cachesim.Simulate(events, cachesim.Config{
+		r, err := cachesim.SimulateTape(tape, cachesim.Config{
 			BlockSize: 4096, CacheSize: 2 << 20,
 			Write: cachesim.FlushBack, FlushInterval: 30 * trace.Second,
 			BillAtStart: bill.start,
@@ -576,7 +764,7 @@ func runAblations(w io.Writer, events []trace.Event) error {
 		name    string
 		noPurge bool
 	}{{"purge on unlink/overwrite (paper)", false}, {"no purge", true}} {
-		r, err := cachesim.Simulate(events, cachesim.Config{
+		r, err := cachesim.SimulateTape(tape, cachesim.Config{
 			BlockSize: 4096, CacheSize: 2 << 20, Write: cachesim.DelayedWrite,
 			NoPurge: v.noPurge,
 		})

@@ -22,10 +22,26 @@
 //
 // The principal metric is the miss ratio: disk I/O operations divided by
 // logical block accesses (paper §6.1).
+//
+// # The transfer tape
+//
+// Reconstructing transfers from the event stream costs as much as
+// simulating them, and the paper's evaluation replays the same trace into
+// dozens of configurations (four write policies × six cache sizes in
+// Table VI alone). The simulator therefore runs off an xfer.Tape: the
+// transfer stream plus its interleaved control operations, materialized
+// once per trace. Transfers are expressed in bytes, so one tape serves
+// every block size; per block size the tape is "resolved" once into dense
+// integer block IDs (shared read-only by all configurations at that
+// size), and each configuration replays array-indexed — no event
+// scanning, no hashing. MultiSimulate runs many configurations over one
+// tape on parallel workers; Simulate remains as the convenience wrapper
+// that builds a throwaway tape from raw events.
 package cachesim
 
 import (
 	"fmt"
+	"sort"
 
 	"bsdtrace/internal/stats"
 	"bsdtrace/internal/trace"
@@ -171,7 +187,8 @@ func (r *Result) NeverWrittenFraction() float64 {
 	return float64(r.DirtyDiscarded) / float64(total)
 }
 
-// blockKey identifies one cache block: a file and a block index within it.
+// blockKey identifies one block of one file; the resolution maps these
+// to dense integer IDs, which is what the replay engine works in.
 type blockKey struct {
 	file trace.FileID
 	idx  int64
@@ -180,30 +197,39 @@ type blockKey struct {
 // block is one cache frame. The intrusive fields (prev/next/slot/
 // referenced) belong to the replacement policy.
 type block struct {
-	key        blockKey
+	id         int32
 	dirty      bool
+	referenced bool
+	slot       int
 	enteredAt  trace.Time
 	prev, next *block
-	slot       int
-	referenced bool
 }
 
-// cache is the live simulation state.
+// cache is the live replay state of one configuration over one resolved
+// tape.
 type cache struct {
 	cfg      Config
+	tape     *xfer.Tape
+	r        *resolved
 	capacity int
 	res      *Result
 
-	blocks map[blockKey]*block
-	byFile map[trace.FileID]map[int64]*block
+	// blocks is the cache directory, indexed by dense block ID (nil =
+	// not cached).
+	blocks []*block
 	pol    replacer
+	// dirties are flush-back scan candidates in the order they were
+	// dirtied. Entries can go stale (the block was evicted or purged, and
+	// its frame possibly recycled); the authoritative bit is b.dirty, so
+	// a scan flushes each dirty frame exactly once and skips the rest.
+	// Maintained only under FlushBack.
+	dirties []*block
 
-	sizes     map[trace.FileID]int64
 	now       trace.Time
 	nextFlush trace.Time
 	// onDisk observes every disk operation (used by the two-level
 	// simulation, where a client's "disk" is the server).
-	onDisk func(key blockKey, write bool, t trace.Time)
+	onDisk func(id int32, write bool, t trace.Time)
 	// freeList recycles evicted block frames; the simulator allocates at
 	// most capacity+1 frames over its whole run, keeping long sweeps off
 	// the garbage collector's back.
@@ -213,19 +239,19 @@ type cache struct {
 	resTotal  int64
 }
 
-func newCache(cfg Config) *cache {
+func newCache(tape *xfer.Tape, r *resolved, cfg Config) *cache {
 	capacity := int(cfg.CacheSize / cfg.BlockSize)
 	if capacity < 1 {
 		capacity = 1
 	}
 	c := &cache{
 		cfg:      cfg,
+		tape:     tape,
+		r:        r,
 		capacity: capacity,
 		res:      &Result{Config: cfg},
-		blocks:   make(map[blockKey]*block),
-		byFile:   make(map[trace.FileID]map[int64]*block),
+		blocks:   make([]*block, r.nBlocks()),
 		pol:      newReplacer(cfg.Replacement, cfg.Seed),
-		sizes:    make(map[trace.FileID]int64),
 		// Residency spans 10 ms to days.
 		residency: stats.NewLogHistogram(0.01, 1.35, 60),
 	}
@@ -247,12 +273,13 @@ func (c *cache) advance(t trace.Time) {
 		return
 	}
 	for c.nextFlush <= c.now {
-		for _, b := range c.blocks {
+		for _, b := range c.dirties {
 			if b.dirty {
 				b.dirty = false
-				c.diskWrite(b.key)
+				c.diskWrite(b.id)
 			}
 		}
+		c.dirties = c.dirties[:0]
 		c.nextFlush += c.cfg.FlushInterval
 	}
 }
@@ -268,70 +295,61 @@ func (c *cache) recordResidency(b *block) {
 
 // diskWrite and diskRead count disk operations and notify the onDisk
 // observer.
-func (c *cache) diskWrite(key blockKey) {
+func (c *cache) diskWrite(id int32) {
 	c.res.DiskWrites++
 	if c.onDisk != nil {
-		c.onDisk(key, true, c.now)
+		c.onDisk(id, true, c.now)
 	}
 }
 
-func (c *cache) diskRead(key blockKey) {
+func (c *cache) diskRead(id int32) {
 	c.res.DiskReads++
 	if c.onDisk != nil {
-		c.onDisk(key, false, c.now)
+		c.onDisk(id, false, c.now)
 	}
 }
 
-// drop removes a block from every index. If writeBack is true and the
+// drop removes a block from the cache. If writeBack is true and the
 // block is dirty it costs a disk write; otherwise a dirty block is
 // discarded and counted in DirtyDiscarded.
 func (c *cache) drop(b *block, writeBack bool) {
 	if b.dirty {
 		if writeBack {
-			c.diskWrite(b.key)
+			c.diskWrite(b.id)
 		} else {
 			c.res.DirtyDiscarded++
 		}
 		b.dirty = false
 	}
 	c.recordResidency(b)
-	delete(c.blocks, b.key)
-	fb := c.byFile[b.key.file]
-	delete(fb, b.key.idx)
-	if len(fb) == 0 {
-		delete(c.byFile, b.key.file)
-	}
+	c.blocks[b.id] = nil
 	c.pol.remove(b)
 	b.next = c.freeList
 	c.freeList = b
 }
 
-// purge removes every cached block of the file whose byte range starts at
-// or beyond size (size 0 purges the whole file). Dirty purged blocks are
-// dead data and cost no disk write.
-func (c *cache) purge(f trace.FileID, size int64) {
-	if c.cfg.NoPurge {
+// purge removes every cached block of the file slot whose byte range
+// starts at or beyond size (size 0 purges the whole file), in ascending
+// block order. Dirty purged blocks are dead data and cost no disk write.
+func (c *cache) purge(fs int32, size int64) {
+	if c.cfg.NoPurge || fs < 0 {
 		return
 	}
-	fb := c.byFile[f]
-	if len(fb) == 0 {
-		return
-	}
-	// Collect first: drop mutates the map being ranged.
-	var doomed []*block
-	for idx, b := range fb {
-		if idx*c.cfg.BlockSize >= size {
-			doomed = append(doomed, b)
+	ids := c.r.fileBlocks[fs]
+	// Doomed blocks satisfy idx*blockSize >= size, i.e. idx >=
+	// ceil(size/blockSize); they form a suffix of the sorted ID list.
+	bound := (size + c.cfg.BlockSize - 1) / c.cfg.BlockSize
+	lo := sort.Search(len(ids), func(k int) bool { return c.r.blockIdx[ids[k]] >= bound })
+	for _, id := range ids[lo:] {
+		if b := c.blocks[id]; b != nil {
+			c.res.Purged++
+			c.drop(b, false)
 		}
-	}
-	for _, b := range doomed {
-		c.res.Purged++
-		c.drop(b, false)
 	}
 }
 
 // insert adds a block, evicting a victim if the cache is full.
-func (c *cache) insert(key blockKey) *block {
+func (c *cache) insert(id int32) *block {
 	for c.pol.len() >= c.capacity {
 		v := c.pol.victim()
 		if v == nil {
@@ -343,17 +361,11 @@ func (c *cache) insert(key blockKey) *block {
 	b := c.freeList
 	if b != nil {
 		c.freeList = b.next
-		*b = block{key: key, enteredAt: c.now}
+		*b = block{id: id, enteredAt: c.now}
 	} else {
-		b = &block{key: key, enteredAt: c.now}
+		b = &block{id: id, enteredAt: c.now}
 	}
-	c.blocks[key] = b
-	fb := c.byFile[key.file]
-	if fb == nil {
-		fb = make(map[int64]*block)
-		c.byFile[key.file] = fb
-	}
-	fb[key.idx] = b
+	c.blocks[id] = b
 	c.pol.insert(b)
 	return b
 }
@@ -361,14 +373,20 @@ func (c *cache) insert(key blockKey) *block {
 // markDirty applies the write policy to a modified block.
 func (c *cache) markDirty(b *block) {
 	if c.cfg.Write == WriteThrough {
-		c.diskWrite(b.key)
+		c.diskWrite(b.id)
 		return
 	}
-	b.dirty = true
+	if !b.dirty {
+		b.dirty = true
+		if c.cfg.Write == FlushBack {
+			c.dirties = append(c.dirties, b)
+		}
+	}
 }
 
-// transfer simulates the block accesses of one reconstructed run.
-func (c *cache) transfer(t xfer.Transfer) {
+// transfer simulates the block accesses of tape transfer xi.
+func (c *cache) transfer(xi int32) {
+	t := &c.tape.Transfers[xi]
 	when := t.Time
 	if c.cfg.BillAtStart {
 		when = t.Start
@@ -376,18 +394,16 @@ func (c *cache) transfer(t xfer.Transfer) {
 	c.advance(when)
 
 	bs := c.cfg.BlockSize
-	oldSize := c.sizes[t.File]
-	first := t.Offset / bs
-	last := (t.End() - 1) / bs
-	for idx := first; idx <= last; idx++ {
+	oldSize := c.tape.OldSizes[xi]
+	ids := c.r.accessIDs[c.r.accessOff[xi]:c.r.accessOff[xi+1]]
+	for _, id := range ids {
 		c.res.LogicalAccesses++
 		if t.Write {
 			c.res.WriteAccesses++
 		} else {
 			c.res.ReadAccesses++
 		}
-		key := blockKey{file: t.File, idx: idx}
-		if b, ok := c.blocks[key]; ok {
+		if b := c.blocks[id]; b != nil {
 			c.pol.access(b)
 			if t.Write {
 				c.markDirty(b)
@@ -401,22 +417,38 @@ func (c *cache) transfer(t xfer.Transfer) {
 		// fresh space needs no read (paper §6.1).
 		fetch := true
 		if t.Write {
-			blockStart := idx * bs
+			blockStart := c.r.blockIdx[id] * bs
 			blockEnd := blockStart + bs
 			headValid := t.Offset > blockStart && oldSize > blockStart
 			tailValid := t.End() < blockEnd && oldSize > t.End()
 			fetch = headValid || tailValid
 		}
 		if fetch {
-			c.diskRead(key)
+			c.diskRead(id)
 		}
-		b := c.insert(key)
+		b := c.insert(id)
 		if t.Write {
 			c.markDirty(b)
 		}
 	}
-	if t.Write && t.End() > oldSize {
-		c.sizes[t.File] = t.End()
+}
+
+// run replays the whole tape.
+func (c *cache) run() {
+	ops := c.tape.Ops
+	for i := range ops {
+		op := &ops[i]
+		c.advance(op.Time)
+		switch op.Kind {
+		case xfer.OpPurge:
+			c.purge(c.r.opFile[i], op.Size)
+		case xfer.OpTransfer:
+			c.transfer(op.Xfer)
+		case xfer.OpExec:
+			if c.cfg.SimulatePaging {
+				c.transfer(op.Xfer)
+			}
+		}
 	}
 }
 
@@ -424,6 +456,9 @@ func (c *cache) transfer(t xfer.Transfer) {
 // cached and counting blocks still dirty.
 func (c *cache) finish() *Result {
 	for _, b := range c.blocks {
+		if b == nil {
+			continue
+		}
 		if b.dirty {
 			c.res.DirtyAtEnd++
 		}
@@ -436,61 +471,84 @@ func (c *cache) finish() *Result {
 	return c.res
 }
 
-// Simulate runs one cache simulation over a time-ordered trace.
+func simulateResolved(tape *xfer.Tape, r *resolved, cfg Config) *Result {
+	c := newCache(tape, r, cfg)
+	c.run()
+	return c.finish()
+}
+
+// SimulateTape runs one cache simulation by replaying a transfer tape.
+// The per-block-size resolution is memoized on the tape, so repeated
+// calls (and MultiSimulate sweeps) against one tape share it.
+func SimulateTape(tape *xfer.Tape, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return simulateResolved(tape, resolvedFor(tape, cfg.BlockSize), cfg), nil
+}
+
+// MultiSimulate replays one tape into every configuration, sharded
+// across parallel workers, and returns the results in configuration
+// order. Each result is identical to what Simulate would produce on the
+// tape's source events: replay order is fixed by the tape, so worker
+// count and scheduling cannot affect any result. All configurations are
+// validated before any work starts.
+func MultiSimulate(tape *xfer.Tape, cfgs []Config) ([]*Result, error) {
+	filled := make([]Config, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := cfg.fill(); err != nil {
+			return nil, err
+		}
+		filled[i] = cfg
+	}
+	out := make([]*Result, len(cfgs))
+	runParallel(len(filled), func(i int) error {
+		out[i] = simulateResolved(tape, resolvedFor(tape, filled[i].BlockSize), filled[i])
+		return nil
+	})
+	return out, nil
+}
+
+// Simulate runs one cache simulation over a time-ordered trace. It is
+// the single-configuration convenience wrapper around SimulateTape; to
+// run several configurations over one trace, build the tape once with
+// xfer.NewTape and use MultiSimulate.
 func Simulate(events []trace.Event, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	c := newCache(cfg)
-	sc := xfer.NewScanner()
-	sc.OnTransfer = c.transfer
-
-	for _, e := range events {
-		c.advance(e.Time)
-		switch e.Kind {
-		case trace.KindCreate:
-			// Overwrite: the file's previous blocks are dead.
-			c.purge(e.File, 0)
-			c.sizes[e.File] = 0
-		case trace.KindOpen:
-			c.sizes[e.File] = e.Size
-		case trace.KindTruncate:
-			c.purge(e.File, e.Size)
-			c.sizes[e.File] = e.Size
-		case trace.KindUnlink:
-			c.purge(e.File, 0)
-			delete(c.sizes, e.File)
-		case trace.KindExec:
-			if cfg.SimulatePaging && e.Size > 0 {
-				c.transfer(xfer.Transfer{
-					Time: e.Time, Start: e.Time,
-					File: e.File, User: e.User,
-					Offset: 0, Length: e.Size,
-					Write: false, Mode: trace.ReadOnly,
-				})
-			}
-		}
-		sc.Feed(e)
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: malformed trace: %v", err)
 	}
-	sc.Finish()
-	if errs := sc.Errs(); len(errs) > 0 {
-		return nil, fmt.Errorf("cachesim: malformed trace: %v", errs[0])
-	}
-	return c.finish(), nil
+	return simulateResolved(tape, resolveTape(tape, cfg.BlockSize), cfg), nil
 }
 
 // CountBlockAccesses returns the number of logical block accesses a trace
 // generates at the given block size — the "no cache" column of the paper's
 // Table VII.
 func CountBlockAccesses(events []trace.Event, blockSize int64, simulatePaging bool) (int64, error) {
-	r, err := Simulate(events, Config{
-		BlockSize:      blockSize,
-		CacheSize:      blockSize, // minimal cache; logical counts don't depend on capacity
-		Write:          DelayedWrite,
-		SimulatePaging: simulatePaging,
-	})
-	if err != nil {
-		return 0, err
+	if blockSize <= 0 {
+		return 0, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
 	}
-	return r.LogicalAccesses, nil
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		return 0, fmt.Errorf("cachesim: malformed trace: %v", err)
+	}
+	return CountTapeAccesses(tape, blockSize, simulatePaging), nil
+}
+
+// CountTapeAccesses returns the number of logical block accesses a tape
+// generates at the given block size — pure arithmetic over the
+// transfers, no simulation.
+func CountTapeAccesses(tape *xfer.Tape, blockSize int64, simulatePaging bool) int64 {
+	var n int64
+	for i := range tape.Ops {
+		op := &tape.Ops[i]
+		if op.Kind == xfer.OpTransfer || (op.Kind == xfer.OpExec && simulatePaging) {
+			t := &tape.Transfers[op.Xfer]
+			n += (t.End()-1)/blockSize - t.Offset/blockSize + 1
+		}
+	}
+	return n
 }

@@ -1,0 +1,100 @@
+package cachesim
+
+import (
+	"sort"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// resolved is a tape's block-level view at one block size: every
+// (file, block index) pair touched by any transfer is assigned a dense
+// integer ID, and each transfer's accesses are flattened into one shared
+// ID array. Replaying a configuration then needs no hashing at all — the
+// cache is an array indexed by block ID — and the resolution is computed
+// once per (tape, block size) and shared read-only by every
+// configuration at that size (see Tape.Memo).
+type resolved struct {
+	blockSize int64
+	// blockIdx and blockFile describe each dense block ID: the block
+	// index within its file and the file's dense slot.
+	blockIdx  []int64
+	blockFile []int32
+	// accessIDs[accessOff[i]:accessOff[i+1]] are the block IDs touched
+	// by tape transfer i, in access order.
+	accessOff []int64
+	accessIDs []int32
+	// fileBlocks lists each file slot's block IDs sorted ascending by
+	// block index, so a purge scans only the doomed suffix — in a
+	// deterministic order, unlike a map walk.
+	fileBlocks [][]int32
+	// opFile is parallel to the tape's ops: the file slot of an OpPurge,
+	// or -1 when the purged file has no blocks on the tape at all (then
+	// the purge cannot touch any cache).
+	opFile []int32
+}
+
+// nBlocks returns the number of distinct blocks the tape references.
+func (r *resolved) nBlocks() int { return len(r.blockIdx) }
+
+// resolveTape computes the dense block-level view of a tape at one block
+// size. blockSize must be positive.
+func resolveTape(t *xfer.Tape, blockSize int64) *resolved {
+	// The flattened access count is pure arithmetic over the transfers, so
+	// accessIDs can be sized exactly up front.
+	var nAccess int64
+	for i := range t.Transfers {
+		tr := &t.Transfers[i]
+		nAccess += (tr.End()-1)/blockSize - tr.Offset/blockSize + 1
+	}
+	r := &resolved{
+		blockSize: blockSize,
+		accessOff: make([]int64, len(t.Transfers)+1),
+		accessIDs: make([]int32, 0, nAccess),
+	}
+	ids := make(map[blockKey]int32)
+	fileSlots := make(map[trace.FileID]int32)
+	for i := range t.Transfers {
+		tr := &t.Transfers[i]
+		first := tr.Offset / blockSize
+		last := (tr.End() - 1) / blockSize
+		for idx := first; idx <= last; idx++ {
+			key := blockKey{file: tr.File, idx: idx}
+			id, ok := ids[key]
+			if !ok {
+				fs, ok := fileSlots[tr.File]
+				if !ok {
+					fs = int32(len(r.fileBlocks))
+					fileSlots[tr.File] = fs
+					r.fileBlocks = append(r.fileBlocks, nil)
+				}
+				id = int32(len(r.blockIdx))
+				ids[key] = id
+				r.blockIdx = append(r.blockIdx, idx)
+				r.blockFile = append(r.blockFile, fs)
+				r.fileBlocks[fs] = append(r.fileBlocks[fs], id)
+			}
+			r.accessIDs = append(r.accessIDs, id)
+		}
+		r.accessOff[i+1] = int64(len(r.accessIDs))
+	}
+	for _, fb := range r.fileBlocks {
+		sort.Slice(fb, func(a, b int) bool { return r.blockIdx[fb[a]] < r.blockIdx[fb[b]] })
+	}
+	r.opFile = make([]int32, len(t.Ops))
+	for i := range t.Ops {
+		r.opFile[i] = -1
+		if t.Ops[i].Kind == xfer.OpPurge {
+			if fs, ok := fileSlots[t.Ops[i].File]; ok {
+				r.opFile[i] = fs
+			}
+		}
+	}
+	return r
+}
+
+// resolvedFor returns the tape's resolution at blockSize, memoized on
+// the tape so concurrent configurations share one copy.
+func resolvedFor(t *xfer.Tape, blockSize int64) *resolved {
+	return t.Memo(blockSize, func() any { return resolveTape(t, blockSize) }).(*resolved)
+}

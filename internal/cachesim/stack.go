@@ -19,7 +19,10 @@ import (
 // to this block) is at most C. The resulting curve is how the trace-study
 // literature summarizes a workload's locality, and bounds Table VI from
 // below (the real simulator adds write-backs and subtracts purged dead
-// blocks and whole-block overwrites).
+// blocks and whole-block overwrites). It also serves as an independent
+// oracle for the transfer tape: an LRU cache of any size replaying the
+// tape's reference string must miss exactly Misses times (see the
+// tests).
 type StackResult struct {
 	BlockSize int64
 	// References is the length of the block reference string;
@@ -54,43 +57,39 @@ func (f *fenwick) sum(i int) int64 {
 	return s
 }
 
-// StackDistances computes the reuse-distance profile of a trace's block
-// reference string at the given block size. Both read and write accesses
-// count as references; deletions and overwrites are ignored (this is the
-// pure locality profile, not the I/O count — see Simulate for that).
-func StackDistances(events []trace.Event, blockSize int64) (*StackResult, error) {
+// StackDistancesTape computes the reuse-distance profile of a tape's
+// block reference string at the given block size. Both read and write
+// accesses count as references; deletions, overwrites, and synthesized
+// exec page-ins are ignored (this is the pure locality profile, not the
+// I/O count — see SimulateTape for that).
+func StackDistancesTape(tape *xfer.Tape, blockSize int64) (*StackResult, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
 	}
-	// First pass: collect the reference string.
-	var refs []blockKey
-	sc := xfer.NewScanner()
-	sc.OnTransfer = func(t xfer.Transfer) {
-		first := t.Offset / blockSize
-		last := (t.End() - 1) / blockSize
-		for idx := first; idx <= last; idx++ {
-			refs = append(refs, blockKey{file: t.File, idx: idx})
+	r := resolvedFor(tape, blockSize)
+	// The reference string: the dense block IDs of every true transfer,
+	// in tape order (exec page-ins are synthetic, not references).
+	refs := make([]int32, 0, len(r.accessIDs))
+	for i := range tape.Ops {
+		op := &tape.Ops[i]
+		if op.Kind == xfer.OpTransfer {
+			refs = append(refs, r.accessIDs[r.accessOff[op.Xfer]:r.accessOff[op.Xfer+1]]...)
 		}
-	}
-	for _, e := range events {
-		sc.Feed(e)
-	}
-	sc.Finish()
-	if errs := sc.Errs(); len(errs) > 0 {
-		return nil, errs[0]
 	}
 
 	res := &StackResult{BlockSize: blockSize, References: int64(len(refs))}
-	// Second pass: Mattson via a Fenwick tree over positions. last[b] is
-	// the position of b's previous reference; the number of distinct
-	// blocks referenced since is the count of "latest position" markers
-	// after it.
-	last := make(map[blockKey]int, 1024)
+	// Mattson via a Fenwick tree over positions. last[b] is the position
+	// of b's previous reference; the number of distinct blocks referenced
+	// since is the count of "latest position" markers after it.
+	last := make([]int, r.nBlocks())
+	for i := range last {
+		last[i] = -1
+	}
 	f := newFenwick(len(refs))
 	var maxDist int
 	distCount := make(map[int]int64)
 	for pos, b := range refs {
-		if prev, ok := last[b]; ok {
+		if prev := last[b]; prev >= 0 {
 			dist := int(f.sum(len(refs)-1) - f.sum(prev))
 			// dist counts distinct blocks referenced strictly after
 			// prev, excluding b itself (b's marker sits at prev).
@@ -112,19 +111,37 @@ func StackDistances(events []trace.Event, blockSize int64) (*StackResult, error)
 	return res, nil
 }
 
-// MissRatio returns the LRU reference miss ratio for a cache of the given
+// StackDistances runs StackDistancesTape on a freshly built tape.
+func StackDistances(events []trace.Event, blockSize int64) (*StackResult, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
+	}
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return StackDistancesTape(tape, blockSize)
+}
+
+// Misses returns the LRU reference miss count for a cache of the given
 // byte capacity: a reference with reuse distance d hits iff the cache
 // holds more than d blocks (the referenced block is at stack depth d+1).
-func (r *StackResult) MissRatio(cacheBytes int64) float64 {
-	if r.References == 0 {
-		return 0
-	}
+func (r *StackResult) Misses(cacheBytes int64) int64 {
 	capBlocks := int(cacheBytes / r.BlockSize)
 	misses := r.ColdMisses
 	for d := capBlocks; d < len(r.hist); d++ {
 		misses += r.hist[d]
 	}
-	return float64(misses) / float64(r.References)
+	return misses
+}
+
+// MissRatio returns the LRU reference miss ratio at the given byte
+// capacity.
+func (r *StackResult) MissRatio(cacheBytes int64) float64 {
+	if r.References == 0 {
+		return 0
+	}
+	return float64(r.Misses(cacheBytes)) / float64(r.References)
 }
 
 // Curve evaluates the miss ratio at each cache size, sorted ascending.

@@ -1,14 +1,16 @@
 package cachesim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
 )
 
 // runParallel executes jobs 0..n-1 on up to GOMAXPROCS workers and
-// returns the first error. Simulations are pure functions of (events,
+// returns the first error. Simulations are pure functions of (tape,
 // config), so sweeps parallelize without affecting determinism.
 func runParallel(n int, job func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
@@ -52,6 +54,16 @@ func runParallel(n int, job func(i int) error) error {
 	return firstErr
 }
 
+// sweepTape builds the throwaway tape behind the event-slice sweep
+// entry points, wrapping scan errors the way Simulate does.
+func sweepTape(events []trace.Event) (*xfer.Tape, error) {
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		return nil, fmt.Errorf("cachesim: malformed trace: %v", err)
+	}
+	return tape, nil
+}
+
 // PolicySpec names one write-policy column of the paper's Table VI.
 type PolicySpec struct {
 	Name     string
@@ -89,38 +101,45 @@ func PaperBlockCacheSizes() []int64 {
 	return []int64{400 << 10, 2 << 20, 4 << 20, 8 << 20}
 }
 
-// PolicySweep regenerates Table VI / Figure 5: miss ratio as a function of
-// cache size and write policy at a fixed block size. The result is indexed
-// [cacheSize][policy].
-func PolicySweep(events []trace.Event, blockSize int64, cacheSizes []int64, policies []PolicySpec) ([][]*Result, error) {
-	out := make([][]*Result, len(cacheSizes))
-	for i := range out {
-		out[i] = make([]*Result, len(policies))
-	}
-	err := runParallel(len(cacheSizes)*len(policies), func(k int) error {
-		i, j := k/len(policies), k%len(policies)
-		r, err := Simulate(events, Config{
-			BlockSize:     blockSize,
-			CacheSize:     cacheSizes[i],
-			Write:         policies[j].Write,
-			FlushInterval: policies[j].Interval,
-		})
-		if err != nil {
-			return err
+// PolicySweepTape regenerates Table VI / Figure 5 from a tape: miss
+// ratio as a function of cache size and write policy at a fixed block
+// size. The result is indexed [cacheSize][policy].
+func PolicySweepTape(tape *xfer.Tape, blockSize int64, cacheSizes []int64, policies []PolicySpec) ([][]*Result, error) {
+	cfgs := make([]Config, 0, len(cacheSizes)*len(policies))
+	for _, cs := range cacheSizes {
+		for _, p := range policies {
+			cfgs = append(cfgs, Config{
+				BlockSize:     blockSize,
+				CacheSize:     cs,
+				Write:         p.Write,
+				FlushInterval: p.Interval,
+			})
 		}
-		out[i][j] = r
-		return nil
-	})
+	}
+	rs, err := MultiSimulate(tape, cfgs)
 	if err != nil {
 		return nil, err
+	}
+	out := make([][]*Result, len(cacheSizes))
+	for i := range out {
+		out[i] = rs[i*len(policies) : (i+1)*len(policies) : (i+1)*len(policies)]
 	}
 	return out, nil
 }
 
-// BlockSizeSweep regenerates Table VII / Figure 6: disk I/Os as a function
-// of block size and cache size under delayed-write. The result is indexed
-// [blockSize][cacheSize]; Accesses[i] is the no-cache logical block access
-// count for blockSizes[i] (the table's first column).
+// PolicySweep runs PolicySweepTape on a freshly built tape.
+func PolicySweep(events []trace.Event, blockSize int64, cacheSizes []int64, policies []PolicySpec) ([][]*Result, error) {
+	tape, err := sweepTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return PolicySweepTape(tape, blockSize, cacheSizes, policies)
+}
+
+// BlockSizeSweepResult holds Table VII / Figure 6: disk I/Os as a
+// function of block size and cache size under delayed-write. Results is
+// indexed [blockSize][cacheSize]; Accesses[i] is the no-cache logical
+// block access count for BlockSizes[i] (the table's first column).
 type BlockSizeSweepResult struct {
 	BlockSizes []int64
 	CacheSizes []int64
@@ -128,8 +147,18 @@ type BlockSizeSweepResult struct {
 	Results    [][]*Result
 }
 
-// BlockSizeSweep runs the Table VII experiment.
-func BlockSizeSweep(events []trace.Event, blockSizes, cacheSizes []int64) (*BlockSizeSweepResult, error) {
+// BlockSizeSweepTape runs the Table VII experiment over a tape.
+func BlockSizeSweepTape(tape *xfer.Tape, blockSizes, cacheSizes []int64) (*BlockSizeSweepResult, error) {
+	cfgs := make([]Config, 0, len(blockSizes)*len(cacheSizes))
+	for _, bs := range blockSizes {
+		for _, cs := range cacheSizes {
+			cfgs = append(cfgs, Config{BlockSize: bs, CacheSize: cs, Write: DelayedWrite})
+		}
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	out := &BlockSizeSweepResult{
 		BlockSizes: blockSizes,
 		CacheSizes: cacheSizes,
@@ -137,89 +166,114 @@ func BlockSizeSweep(events []trace.Event, blockSizes, cacheSizes []int64) (*Bloc
 		Results:    make([][]*Result, len(blockSizes)),
 	}
 	for i := range blockSizes {
-		out.Results[i] = make([]*Result, len(cacheSizes))
-	}
-	err := runParallel(len(blockSizes)*len(cacheSizes), func(k int) error {
-		i, j := k/len(cacheSizes), k%len(cacheSizes)
-		r, err := Simulate(events, Config{
-			BlockSize: blockSizes[i],
-			CacheSize: cacheSizes[j],
-			Write:     DelayedWrite,
-		})
-		if err != nil {
-			return err
-		}
-		out.Results[i][j] = r
-		out.Accesses[i] = r.LogicalAccesses
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		out.Results[i] = rs[i*len(cacheSizes) : (i+1)*len(cacheSizes) : (i+1)*len(cacheSizes)]
+		out.Accesses[i] = out.Results[i][0].LogicalAccesses
 	}
 	return out, nil
 }
 
-// PagingSweep regenerates Figure 7: delayed-write miss ratios across cache
-// sizes with and without simulated program page-in. The result is indexed
-// [cacheSize][0 = ignored, 1 = simulated].
-func PagingSweep(events []trace.Event, blockSize int64, cacheSizes []int64) ([][2]*Result, error) {
+// BlockSizeSweep runs BlockSizeSweepTape on a freshly built tape.
+func BlockSizeSweep(events []trace.Event, blockSizes, cacheSizes []int64) (*BlockSizeSweepResult, error) {
+	tape, err := sweepTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return BlockSizeSweepTape(tape, blockSizes, cacheSizes)
+}
+
+// PagingSweepTape regenerates Figure 7 from a tape: delayed-write miss
+// ratios across cache sizes with and without simulated program page-in.
+// The result is indexed [cacheSize][0 = ignored, 1 = simulated].
+func PagingSweepTape(tape *xfer.Tape, blockSize int64, cacheSizes []int64) ([][2]*Result, error) {
+	cfgs := make([]Config, 0, len(cacheSizes)*2)
+	for _, cs := range cacheSizes {
+		for j := 0; j < 2; j++ {
+			cfgs = append(cfgs, Config{
+				BlockSize:      blockSize,
+				CacheSize:      cs,
+				Write:          DelayedWrite,
+				SimulatePaging: j == 1,
+			})
+		}
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][2]*Result, len(cacheSizes))
-	err := runParallel(len(cacheSizes)*2, func(k int) error {
-		i, j := k/2, k%2
-		r, err := Simulate(events, Config{
-			BlockSize:      blockSize,
-			CacheSize:      cacheSizes[i],
-			Write:          DelayedWrite,
-			SimulatePaging: j == 1,
-		})
-		if err != nil {
-			return err
-		}
-		out[i][j] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	for i := range out {
+		out[i][0] = rs[i*2]
+		out[i][1] = rs[i*2+1]
 	}
 	return out, nil
 }
 
-// ReplacementSweep runs ablation A1: all four replacement policies at one
-// cache configuration, delayed-write.
-func ReplacementSweep(events []trace.Event, blockSize, cacheSize int64, seed int64) (map[Replacement]*Result, error) {
-	out := make(map[Replacement]*Result)
-	for _, rp := range []Replacement{LRU, FIFO, Clock, Random} {
-		r, err := Simulate(events, Config{
+// PagingSweep runs PagingSweepTape on a freshly built tape.
+func PagingSweep(events []trace.Event, blockSize int64, cacheSizes []int64) ([][2]*Result, error) {
+	tape, err := sweepTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return PagingSweepTape(tape, blockSize, cacheSizes)
+}
+
+// replacementOrder fixes the policy order of ReplacementSweep.
+var replacementOrder = []Replacement{LRU, FIFO, Clock, Random}
+
+// ReplacementSweepTape runs ablation A1 over a tape: all four
+// replacement policies at one cache configuration, delayed-write.
+func ReplacementSweepTape(tape *xfer.Tape, blockSize, cacheSize int64, seed int64) (map[Replacement]*Result, error) {
+	cfgs := make([]Config, 0, len(replacementOrder))
+	for _, rp := range replacementOrder {
+		cfgs = append(cfgs, Config{
 			BlockSize:   blockSize,
 			CacheSize:   cacheSize,
 			Write:       DelayedWrite,
 			Replacement: rp,
 			Seed:        seed,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out[rp] = r
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Replacement]*Result, len(replacementOrder))
+	for i, rp := range replacementOrder {
+		out[rp] = rs[i]
 	}
 	return out, nil
 }
 
-// FlushIntervalSweep runs ablation A2: flush-back across a range of
-// intervals, bracketed by write-through (interval → 0) and delayed-write
-// (interval → ∞).
-func FlushIntervalSweep(events []trace.Event, blockSize, cacheSize int64, intervals []trace.Time) ([]*Result, error) {
-	out := make([]*Result, len(intervals))
+// ReplacementSweep runs ReplacementSweepTape on a freshly built tape.
+func ReplacementSweep(events []trace.Event, blockSize, cacheSize int64, seed int64) (map[Replacement]*Result, error) {
+	tape, err := sweepTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return ReplacementSweepTape(tape, blockSize, cacheSize, seed)
+}
+
+// FlushIntervalSweepTape runs ablation A2 over a tape: flush-back across
+// a range of intervals, bracketed by write-through (interval → 0) and
+// delayed-write (interval → ∞).
+func FlushIntervalSweepTape(tape *xfer.Tape, blockSize, cacheSize int64, intervals []trace.Time) ([]*Result, error) {
+	cfgs := make([]Config, len(intervals))
 	for i, iv := range intervals {
-		r, err := Simulate(events, Config{
+		cfgs[i] = Config{
 			BlockSize:     blockSize,
 			CacheSize:     cacheSize,
 			Write:         FlushBack,
 			FlushInterval: iv,
-		})
-		if err != nil {
-			return nil, err
 		}
-		out[i] = r
 	}
-	return out, nil
+	return MultiSimulate(tape, cfgs)
+}
+
+// FlushIntervalSweep runs FlushIntervalSweepTape on a freshly built tape.
+func FlushIntervalSweep(events []trace.Event, blockSize, cacheSize int64, intervals []trace.Time) ([]*Result, error) {
+	tape, err := sweepTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return FlushIntervalSweepTape(tape, blockSize, cacheSize, intervals)
 }

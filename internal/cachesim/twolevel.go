@@ -72,13 +72,17 @@ func (r *TwoLevelResult) EndToEndMissRatio() float64 {
 	return float64(r.ServerDiskIOs()) / float64(r.ClientAccesses)
 }
 
-// serverOp is one operation arriving at the server, in time order.
+// serverOp is one operation arriving at the server. Block and file
+// identities are in the server's global dense ID space (each machine's
+// local IDs shifted by its base offset, so machines never collide —
+// machine files are distinct by construction, as trace.Merge remaps
+// them).
 type serverOp struct {
-	time  trace.Time
-	key   blockKey
-	kind  serverOpKind
-	size  int64 // for truncate purges
-	order int64 // stable tiebreak
+	time trace.Time
+	kind serverOpKind
+	id   int32 // global block ID for opRead/opWrite
+	fs   int32 // global file slot for opPurge
+	size int64 // truncate purge boundary
 }
 
 type serverOpKind uint8
@@ -89,12 +93,53 @@ const (
 	opPurge
 )
 
-// TwoLevelSimulate runs one trace per machine through a local
+// clientPass is one machine's contribution to the simulation: its local
+// cache counters and the server traffic it generated, in emission order.
+type clientPass struct {
+	res *Result
+	ops []serverOp
+}
+
+// runClient replays one machine's tape through a write-through client
+// cache. Read misses, write-throughs, and data-death purges become
+// server operations; blockBase and fileBase translate the machine's
+// dense IDs into the server's global ID space.
+func runClient(tape *xfer.Tape, r *resolved, cfg Config, blockBase, fileBase int32) *clientPass {
+	p := &clientPass{}
+	c := newCache(tape, r, cfg)
+	c.onDisk = func(id int32, write bool, t trace.Time) {
+		kind := opRead
+		if write {
+			kind = opWrite
+		}
+		p.ops = append(p.ops, serverOp{time: t, kind: kind, id: blockBase + id})
+	}
+	ops := tape.Ops
+	for i := range ops {
+		op := &ops[i]
+		c.advance(op.Time)
+		switch op.Kind {
+		case xfer.OpPurge:
+			c.purge(r.opFile[i], op.Size)
+			if fs := r.opFile[i]; fs >= 0 {
+				p.ops = append(p.ops, serverOp{time: op.Time, kind: opPurge, fs: fileBase + fs, size: op.Size})
+			}
+		case xfer.OpTransfer:
+			c.transfer(op.Xfer)
+		}
+	}
+	p.res = c.res
+	return p
+}
+
+// TwoLevelSimulateTapes runs one tape per machine through a local
 // write-through client cache and forwards the resulting traffic to a
-// shared server cache. Machine file identifiers are remapped (file*n+i, as
-// trace.Merge does) so machines never collide.
-func TwoLevelSimulate(machines [][]trace.Event, cfg TwoLevelConfig) (*TwoLevelResult, error) {
-	if len(machines) == 0 {
+// shared server cache. The client passes run on parallel workers; the
+// server replay interleaves their traffic by time, with ties broken in
+// machine order (then emission order), so the result is deterministic
+// regardless of worker scheduling.
+func TwoLevelSimulateTapes(tapes []*xfer.Tape, cfg TwoLevelConfig) (*TwoLevelResult, error) {
+	if len(tapes) == 0 {
 		return nil, fmt.Errorf("cachesim: two-level simulation needs at least one machine")
 	}
 	clientCfg := Config{BlockSize: cfg.BlockSize, CacheSize: cfg.ClientCache, Write: WriteThrough}
@@ -109,102 +154,118 @@ func TwoLevelSimulate(machines [][]trace.Event, cfg TwoLevelConfig) (*TwoLevelRe
 		return nil, err
 	}
 
-	res := &TwoLevelResult{Config: cfg}
-	n := int64(len(machines))
-	var ops []serverOp
-	var order int64
+	// Resolve every machine's tape and lay the machines' dense block and
+	// file IDs end to end: machine m's local ID i becomes global ID
+	// blockBase[m]+i at the server.
+	machineRes := make([]*resolved, len(tapes))
+	runParallel(len(tapes), func(m int) error {
+		machineRes[m] = resolvedFor(tapes[m], cfg.BlockSize)
+		return nil
+	})
+	blockBase := make([]int32, len(tapes))
+	fileBase := make([]int32, len(tapes))
+	var nBlocks, nFiles int32
+	for m, r := range machineRes {
+		blockBase[m] = nBlocks
+		fileBase[m] = nFiles
+		nBlocks += int32(r.nBlocks())
+		nFiles += int32(len(r.fileBlocks))
+	}
 
-	// Pass 1: each client runs its own cache; its fetches and
-	// write-throughs become server operations, as do the purges implied
-	// by its metadata events.
-	for m, events := range machines {
-		m := int64(m)
-		remap := func(f trace.FileID) trace.FileID { return f*trace.FileID(n) + trace.FileID(m) }
-		c := newCache(clientCfg)
-		c.onDisk = func(key blockKey, write bool, t trace.Time) {
-			kind := opRead
-			if write {
-				kind = opWrite
-			}
-			ops = append(ops, serverOp{
-				time: t, kind: kind, order: order,
-				key: blockKey{file: remap(key.file), idx: key.idx},
-			})
-			order++
-		}
-		sc := xfer.NewScanner()
-		sc.OnTransfer = c.transfer
-		for _, e := range events {
-			c.advance(e.Time)
-			switch e.Kind {
-			case trace.KindCreate:
-				c.purge(e.File, 0)
-				c.sizes[e.File] = 0
-				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, order: order})
-				order++
-			case trace.KindOpen:
-				c.sizes[e.File] = e.Size
-			case trace.KindTruncate:
-				c.purge(e.File, e.Size)
-				c.sizes[e.File] = e.Size
-				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, size: e.Size, order: order})
-				order++
-			case trace.KindUnlink:
-				c.purge(e.File, 0)
-				delete(c.sizes, e.File)
-				ops = append(ops, serverOp{time: e.Time, kind: opPurge, key: blockKey{file: remap(e.File)}, order: order})
-				order++
-			}
-			sc.Feed(e)
-		}
-		sc.Finish()
-		if errs := sc.Errs(); len(errs) > 0 {
-			return nil, fmt.Errorf("cachesim: machine %d trace malformed: %v", m, errs[0])
-		}
-		res.ClientAccesses += c.res.LogicalAccesses
-		res.ClientReadMisses += c.res.DiskReads
-		res.WriteForwards += c.res.DiskWrites
+	// Pass 1: each client runs its own cache.
+	passes := make([]*clientPass, len(tapes))
+	runParallel(len(tapes), func(m int) error {
+		passes[m] = runClient(tapes[m], machineRes[m], clientCfg, blockBase[m], fileBase[m])
+		return nil
+	})
+
+	res := &TwoLevelResult{Config: cfg}
+	var ops []serverOp
+	for _, p := range passes {
+		res.ClientAccesses += p.res.LogicalAccesses
+		res.ClientReadMisses += p.res.DiskReads
+		res.WriteForwards += p.res.DiskWrites
+		ops = append(ops, p.ops...)
 	}
 	res.NetworkBlocks = res.ClientReadMisses + res.WriteForwards
 
 	// Pass 2: replay the interleaved server traffic into the server
-	// cache. Writes arrive with their data (the client has the block),
-	// so a server write miss needs no disk read.
-	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].time != ops[j].time {
-			return ops[i].time < ops[j].time
+	// cache. The server's "resolution" is the machines' concatenated:
+	// per-block file indices for purge boundaries and per-file sorted
+	// block lists, all in global IDs. Writes arrive with their data (the
+	// client has the block), so a server write miss needs no disk read.
+	srvRes := &resolved{
+		blockSize:  cfg.BlockSize,
+		blockIdx:   make([]int64, 0, nBlocks),
+		fileBlocks: make([][]int32, 0, nFiles),
+	}
+	for m, r := range machineRes {
+		srvRes.blockIdx = append(srvRes.blockIdx, r.blockIdx...)
+		for _, fb := range r.fileBlocks {
+			global := make([]int32, len(fb))
+			for i, id := range fb {
+				global[i] = blockBase[m] + id
+			}
+			srvRes.fileBlocks = append(srvRes.fileBlocks, global)
 		}
-		return ops[i].order < ops[j].order
-	})
-	srv := newCache(serverCfg)
-	for _, op := range ops {
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].time < ops[j].time })
+	sres := replayServer(ops, srvRes, serverCfg)
+	res.ServerDiskReads = sres.DiskReads
+	res.ServerDiskWrites = sres.DiskWrites
+	return res, nil
+}
+
+// replayServer drives the time-ordered server traffic into the server
+// cache.
+func replayServer(ops []serverOp, r *resolved, cfg Config) *Result {
+	srv := newCache(&xfer.Tape{}, r, cfg)
+	for i := range ops {
+		op := &ops[i]
 		srv.advance(op.time)
 		switch op.kind {
 		case opPurge:
-			srv.purge(op.key.file, op.size)
+			srv.purge(op.fs, op.size)
 		case opRead:
 			srv.res.LogicalAccesses++
 			srv.res.ReadAccesses++
-			if b, ok := srv.blocks[op.key]; ok {
+			if b := srv.blocks[op.id]; b != nil {
 				srv.pol.access(b)
 				continue
 			}
 			srv.res.DiskReads++
-			srv.insert(op.key)
+			srv.insert(op.id)
 		case opWrite:
 			srv.res.LogicalAccesses++
 			srv.res.WriteAccesses++
-			if b, ok := srv.blocks[op.key]; ok {
+			if b := srv.blocks[op.id]; b != nil {
 				srv.pol.access(b)
 				srv.markDirty(b)
 				continue
 			}
-			b := srv.insert(op.key)
+			b := srv.insert(op.id)
 			srv.markDirty(b)
 		}
 	}
-	sres := srv.finish()
-	res.ServerDiskReads = sres.DiskReads
-	res.ServerDiskWrites = sres.DiskWrites
-	return res, nil
+	return srv.finish()
+}
+
+// TwoLevelSimulate builds one tape per machine trace and runs
+// TwoLevelSimulateTapes.
+func TwoLevelSimulate(machines [][]trace.Event, cfg TwoLevelConfig) (*TwoLevelResult, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("cachesim: two-level simulation needs at least one machine")
+	}
+	tapes := make([]*xfer.Tape, len(machines))
+	errs := make([]error, len(machines))
+	runParallel(len(machines), func(m int) error {
+		tapes[m], errs[m] = xfer.NewTape(machines[m])
+		return nil
+	})
+	for m, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: machine %d trace malformed: %v", m, err)
+		}
+	}
+	return TwoLevelSimulateTapes(tapes, cfg)
 }

@@ -28,10 +28,11 @@ type WorkingSetPoint struct {
 	Windows   int64
 }
 
-// WorkingSet computes W(T) for each window length over the trace's block
-// reference string (reads and writes alike; windows with no references
-// count as empty windows if they fall inside the trace's span).
-func WorkingSet(events []trace.Event, blockSize int64, windows []trace.Time) ([]WorkingSetPoint, error) {
+// WorkingSetTape computes W(T) for each window length over the tape's
+// block reference string (reads and writes alike; windows with no
+// references count as empty windows if they fall inside the trace's
+// span).
+func WorkingSetTape(tape *xfer.Tape, blockSize int64, windows []trace.Time) ([]WorkingSetPoint, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
 	}
@@ -40,52 +41,60 @@ func WorkingSet(events []trace.Event, blockSize int64, windows []trace.Time) ([]
 			return nil, fmt.Errorf("cachesim: window %v must be positive", w)
 		}
 	}
-	// Collect the timed reference string once.
+	r := resolvedFor(tape, blockSize)
+	// The timed reference string: each true transfer's blocks at the
+	// transfer's billing time. Op times are nondecreasing, so the last
+	// op's time is the trace's span.
 	type ref struct {
-		t   trace.Time
-		key blockKey
+		t  trace.Time
+		id int32
 	}
-	var refs []ref
+	refs := make([]ref, 0, len(r.accessIDs))
 	var last trace.Time
-	sc := xfer.NewScanner()
-	sc.OnTransfer = func(t xfer.Transfer) {
-		first := t.Offset / blockSize
-		lastIdx := (t.End() - 1) / blockSize
-		for idx := first; idx <= lastIdx; idx++ {
-			refs = append(refs, ref{t: t.Time, key: blockKey{file: t.File, idx: idx}})
+	for i := range tape.Ops {
+		op := &tape.Ops[i]
+		if op.Time > last {
+			last = op.Time
 		}
-	}
-	for _, e := range events {
-		sc.Feed(e)
-		if e.Time > last {
-			last = e.Time
+		if op.Kind != xfer.OpTransfer {
+			continue
 		}
-	}
-	sc.Finish()
-	if errs := sc.Errs(); len(errs) > 0 {
-		return nil, errs[0]
+		t := tape.Transfers[op.Xfer].Time
+		for _, id := range r.accessIDs[r.accessOff[op.Xfer]:r.accessOff[op.Xfer+1]] {
+			refs = append(refs, ref{t: t, id: id})
+		}
 	}
 
+	// seen stamps each block with the last window that touched it,
+	// avoiding a per-window clear.
+	seen := make([]int64, r.nBlocks())
+	for i := range seen {
+		seen[i] = -1
+	}
 	out := make([]WorkingSetPoint, 0, len(windows))
-	for _, w := range windows {
+	for wi, w := range windows {
 		p := WorkingSetPoint{Window: w}
 		var agg stats.Welford
 		cur := int64(0)
-		set := make(map[blockKey]struct{})
+		var n int64
+		stamp := int64(wi)<<32 | 0 // unique per (window length, window index)
 		flushTo := func(idx int64) {
 			for cur < idx {
-				n := int64(len(set))
 				agg.Add(float64(n))
 				if n > p.MaxBlocks {
 					p.MaxBlocks = n
 				}
-				clear(set)
+				n = 0
 				cur++
+				stamp++
 			}
 		}
-		for _, r := range refs {
-			flushTo(int64(r.t / w))
-			set[r.key] = struct{}{}
+		for _, rf := range refs {
+			flushTo(int64(rf.t / w))
+			if seen[rf.id] != stamp {
+				seen[rf.id] = stamp
+				n++
+			}
 		}
 		flushTo(int64(last/w) + 1)
 		p.Windows = agg.N()
@@ -95,4 +104,21 @@ func WorkingSet(events []trace.Event, blockSize int64, windows []trace.Time) ([]
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// WorkingSet runs WorkingSetTape on a freshly built tape.
+func WorkingSet(events []trace.Event, blockSize int64, windows []trace.Time) ([]WorkingSetPoint, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
+	}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("cachesim: window %v must be positive", w)
+		}
+	}
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		return nil, err
+	}
+	return WorkingSetTape(tape, blockSize, windows)
 }

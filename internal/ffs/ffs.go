@@ -152,13 +152,19 @@ func (d *Disk) setRange(r fragRange, use bool) {
 	block := r.start / d.fragsPer
 	g := d.groupOf(block)
 	wasUsed := d.used[block]
-	for i := int64(0); i < r.count; i++ {
-		f := r.start + i
-		if use {
-			d.bitmap[f/64] |= 1 << (f % 64)
-		} else {
-			d.bitmap[f/64] &^= 1 << (f % 64)
+	for f, end := r.start, r.start+r.count; f < end; {
+		lo := f % 64
+		n := 64 - lo
+		if end-f < n {
+			n = end - f
 		}
+		mask := (^uint64(0) >> (64 - n)) << lo
+		if use {
+			d.bitmap[f/64] |= mask
+		} else {
+			d.bitmap[f/64] &^= mask
+		}
+		f += n
 	}
 	if use {
 		d.used[block] += int8(r.count)

@@ -30,35 +30,31 @@ type ReplayResult struct {
 	Failed    int64
 }
 
-// Replay runs a trace's file population against a fresh disk with the
-// given geometry.
-func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
-	disk, err := NewDisk(geo)
-	if err != nil {
-		return nil, err
-	}
-	res := &ReplayResult{Geometry: geo}
-	files := make(map[trace.FileID]*File)
+// popOp is one step of a trace's file-population history: place (id is
+// (re)allocated at size) or, with place false, free. The history is a
+// pure function of the trace — no disk geometry enters into it — so one
+// extraction serves every geometry a sweep replays.
+type popOp struct {
+	place bool
+	id    trace.FileID
+	size  int64
+}
 
+// populationOps extracts the file-population history of a trace: files
+// are (re)sized at each close to the size the transfer reconstruction
+// derives, at first sight (pre-existing files, at their size-at-open),
+// and on truncate; unlinks free them. Closes that leave a file's size
+// unchanged emit nothing.
+func populationOps(events []trace.Event) ([]popOp, error) {
+	var ops []popOp
+	sizes := make(map[trace.FileID]int64)
 	place := func(id trace.FileID, size int64) {
-		f, err := disk.Realloc(files[id], size)
-		if err != nil {
-			res.Failed++
-			delete(files, id)
-			return
-		}
-		files[id] = f
-		if disk.allocated > res.PeakAllocated {
-			res.PeakAllocated = disk.allocated
-		}
-		if disk.dataBytes > res.PeakData {
-			res.PeakData = disk.dataBytes
-		}
+		ops = append(ops, popOp{place: true, id: id, size: size})
+		sizes[id] = size
 	}
-
 	sc := xfer.NewScanner()
 	sc.OnOpenEnd = func(o xfer.OpenSummary) {
-		if cur, ok := files[o.File]; ok && cur.Size() == o.SizeAtClose {
+		if cur, ok := sizes[o.File]; ok && cur == o.SizeAtClose {
 			return // unchanged
 		}
 		place(o.File, o.SizeAtClose)
@@ -67,17 +63,17 @@ func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
 		switch e.Kind {
 		case trace.KindOpen:
 			// First sight of a pre-existing file: allocate it.
-			if _, ok := files[e.File]; !ok && e.Size > 0 {
+			if _, ok := sizes[e.File]; !ok && e.Size > 0 {
 				place(e.File, e.Size)
 			}
 		case trace.KindTruncate:
-			if f, ok := files[e.File]; ok && f.Size() != e.Size {
+			if sz, ok := sizes[e.File]; ok && sz != e.Size {
 				place(e.File, e.Size)
 			}
 		case trace.KindUnlink:
-			if f, ok := files[e.File]; ok {
-				disk.Free(f)
-				delete(files, e.File)
+			if _, ok := sizes[e.File]; ok {
+				ops = append(ops, popOp{id: e.File})
+				delete(sizes, e.File)
 			}
 		}
 		sc.Feed(e)
@@ -86,9 +82,52 @@ func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
 	if errs := sc.Errs(); len(errs) > 0 {
 		return nil, fmt.Errorf("ffs: malformed trace: %v", errs[0])
 	}
+	return ops, nil
+}
+
+// replayPop drives a population history against a fresh disk.
+func replayPop(ops []popOp, geo Geometry) (*ReplayResult, error) {
+	disk, err := NewDisk(geo)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{Geometry: geo}
+	files := make(map[trace.FileID]*File)
+	for _, op := range ops {
+		if !op.place {
+			if f, ok := files[op.id]; ok {
+				disk.Free(f)
+				delete(files, op.id)
+			}
+			continue
+		}
+		f, err := disk.Realloc(files[op.id], op.size)
+		if err != nil {
+			res.Failed++
+			delete(files, op.id)
+			continue
+		}
+		files[op.id] = f
+		if disk.allocated > res.PeakAllocated {
+			res.PeakAllocated = disk.allocated
+		}
+		if disk.dataBytes > res.PeakData {
+			res.PeakData = disk.dataBytes
+		}
+	}
 	res.Final = disk.Usage()
 	res.LiveFiles = len(files)
 	return res, nil
+}
+
+// Replay runs a trace's file population against a fresh disk with the
+// given geometry.
+func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
+	ops, err := populationOps(events)
+	if err != nil {
+		return nil, err
+	}
+	return replayPop(ops, geo)
 }
 
 // WasteSweep replays the trace across block sizes, with fragments (FFS
@@ -105,8 +144,14 @@ type WasteSweepRow struct {
 	DataBytes   int64
 }
 
-// WasteSweep runs the §6.3 experiment.
+// WasteSweep runs the §6.3 experiment. The population history is
+// geometry-independent, so it is extracted from the trace once and
+// replayed against each of the sweep's disks.
 func WasteSweep(events []trace.Event, blockSizes []int64) ([]WasteSweepRow, error) {
+	ops, err := populationOps(events)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]WasteSweepRow, 0, len(blockSizes))
 	for _, bs := range blockSizes {
 		frag := bs / 8
@@ -117,12 +162,12 @@ func WasteSweep(events []trace.Event, blockSizes []int64) ([]WasteSweepRow, erro
 			frag = bs
 		}
 		geo := Geometry{BlockSize: bs, FragSize: frag, Groups: 16, BlocksPerGroup: int(64 << 20 / bs)}
-		withFrag, err := Replay(events, geo)
+		withFrag, err := replayPop(ops, geo)
 		if err != nil {
 			return nil, err
 		}
 		geo.FragSize = bs
-		without, err := Replay(events, geo)
+		without, err := replayPop(ops, geo)
 		if err != nil {
 			return nil, err
 		}

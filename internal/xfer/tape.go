@@ -1,0 +1,175 @@
+package xfer
+
+import (
+	"sync"
+
+	"bsdtrace/internal/trace"
+)
+
+// Tape is the reconstructed transfer stream of one trace, materialized as
+// a reusable artifact: one Scanner pass over the events produces the
+// complete sequence of transfers plus the interleaved control operations
+// (clock advances and dead-data purges) that a consumer replaying the
+// stream needs. Transfers are expressed in bytes, so a single tape is
+// valid for every block size; the cache simulator builds a tape once and
+// replays it into arbitrarily many cache configurations in parallel
+// instead of re-reconstructing the same transfers for each one.
+//
+// The op sequence preserves the exact event order of the source trace:
+// replaying the tape is observationally identical to feeding the events
+// through a Scanner, with two reductions applied at build time. Events
+// that produce no transfer or purge (opens, empty seeks and closes,
+// zero-size execs) collapse into OpAdvance clock ticks, and consecutive
+// clock ticks merge. An open's size information is not lost: the file
+// size the cache layer would have known before each transfer is
+// precomputed into OldSizes, so replay needs no per-file size tracking
+// at all.
+type Tape struct {
+	// Ops is the replay sequence. Op times are nondecreasing.
+	Ops []Op
+	// Transfers holds the reconstructed runs (and synthesized exec
+	// reads), indexed by Op.Xfer, in emission order.
+	Transfers []Transfer
+	// OldSizes is parallel to Transfers: the size of the transfer's file
+	// as known just before the transfer, following the paper's cache
+	// simulator rules (sizes are learned from open/create/truncate
+	// events and from writes that extend a file; execs do not change
+	// them). A write run ending beyond OldSizes[i] extends the file;
+	// blocks wholly beyond it hold no valid data and need no fetch.
+	OldSizes []int64
+	// Unclosed is the number of opens still outstanding at the end of
+	// the trace (their partial transfers are on the tape).
+	Unclosed int
+
+	mu   sync.Mutex
+	memo map[int64]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	v    any
+}
+
+// OpKind discriminates tape operations.
+type OpKind uint8
+
+// Tape operations, in replay semantics:
+const (
+	// OpAdvance moves the clock to Op.Time. Every op implies a clock
+	// advance; a bare OpAdvance stands for trace events that produced
+	// nothing else, so that time-driven machinery (flush-back scans)
+	// observes the same clock motion as the original event stream.
+	OpAdvance OpKind = iota
+	// OpPurge reports data death: every block of Op.File whose byte
+	// range starts at or beyond Op.Size is dead (Size 0 kills the whole
+	// file). Emitted for unlinks, truncations, and overwriting creates.
+	OpPurge
+	// OpTransfer replays Transfers[Op.Xfer].
+	OpTransfer
+	// OpExec replays Transfers[Op.Xfer], a synthesized whole-file read
+	// of an executed binary, but only for consumers that simulate
+	// program paging; others treat it as OpAdvance.
+	OpExec
+)
+
+// Op is one tape operation.
+type Op struct {
+	Kind OpKind
+	// Time is the operation's clock value (the source event's time).
+	Time trace.Time
+	// File is the dying file for OpPurge.
+	File trace.FileID
+	// Size is the survival boundary for OpPurge: bytes at or beyond it
+	// are dead.
+	Size int64
+	// Xfer indexes Transfers for OpTransfer and OpExec.
+	Xfer int32
+}
+
+// NewTape reconstructs the transfer tape of a time-ordered trace. It
+// returns the first malformed-stream complaint as an error, exactly as
+// scanning would.
+func NewTape(events []trace.Event) (*Tape, error) {
+	// Ops is bounded by one per event plus one per transfer; a seek-free
+	// trace produces roughly one transfer per read/write pair, so half the
+	// event count is a close capacity guess for both slices.
+	t := &Tape{
+		Ops:       make([]Op, 0, len(events)),
+		Transfers: make([]Transfer, 0, len(events)/2),
+		OldSizes:  make([]int64, 0, len(events)/2),
+	}
+	sizes := make(map[trace.FileID]int64)
+	sc := NewScanner()
+	sc.OnTransfer = func(tr Transfer) {
+		t.Ops = append(t.Ops, Op{Kind: OpTransfer, Time: tr.Time, Xfer: int32(len(t.Transfers))})
+		t.Transfers = append(t.Transfers, tr)
+		old := sizes[tr.File]
+		t.OldSizes = append(t.OldSizes, old)
+		if tr.Write && tr.End() > old {
+			sizes[tr.File] = tr.End()
+		}
+	}
+	for _, e := range events {
+		n := len(t.Ops)
+		switch e.Kind {
+		case trace.KindCreate:
+			// Overwrite: the file's previous blocks are dead.
+			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
+			sizes[e.File] = 0
+		case trace.KindOpen:
+			sizes[e.File] = e.Size
+		case trace.KindTruncate:
+			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File, Size: e.Size})
+			sizes[e.File] = e.Size
+		case trace.KindUnlink:
+			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
+			delete(sizes, e.File)
+		case trace.KindExec:
+			if e.Size > 0 {
+				t.Ops = append(t.Ops, Op{Kind: OpExec, Time: e.Time, Xfer: int32(len(t.Transfers))})
+				t.Transfers = append(t.Transfers, Transfer{
+					Time: e.Time, Start: e.Time,
+					File: e.File, User: e.User,
+					Offset: 0, Length: e.Size,
+					Mode: trace.ReadOnly,
+				})
+				t.OldSizes = append(t.OldSizes, sizes[e.File])
+			}
+		}
+		sc.Feed(e)
+		if len(t.Ops) == n {
+			// The event produced nothing; keep its clock motion.
+			if n > 0 && t.Ops[n-1].Kind == OpAdvance {
+				t.Ops[n-1].Time = e.Time
+			} else {
+				t.Ops = append(t.Ops, Op{Kind: OpAdvance, Time: e.Time})
+			}
+		}
+	}
+	t.Unclosed = sc.Finish()
+	if errs := sc.Errs(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return t, nil
+}
+
+// Memo returns the value cached on the tape under key, building and
+// caching it on first use. Consumers use it to attach derived read-only
+// artifacts (the cache simulator keys per-block-size resolutions by
+// block size) so that repeated sweeps over one tape pay the derivation
+// cost once. Safe for concurrent use: concurrent callers with the same
+// key share one build, while different keys build in parallel.
+func (t *Tape) Memo(key int64, build func() any) any {
+	t.mu.Lock()
+	e := t.memo[key]
+	if e == nil {
+		if t.memo == nil {
+			t.memo = make(map[int64]*memoEntry)
+		}
+		e = &memoEntry{}
+		t.memo[key] = e
+	}
+	t.mu.Unlock()
+	e.once.Do(func() { e.v = build() })
+	return e.v
+}
