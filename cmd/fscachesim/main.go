@@ -13,6 +13,11 @@
 //	fscachesim -sweep fig7 a5.trace        # page-in simulated vs ignored
 //	fscachesim -sweep replacement a5.trace # LRU vs FIFO vs Clock vs Random
 //	fscachesim -sweep flush a5.trace       # flush-back interval sweep
+//
+// Crash injection (the reliability side of the write-policy trade):
+//
+//	fscachesim -crash-sweep 64 a5.trace            # expected loss per policy
+//	fscachesim -crash-at 2h -policy flush a5.trace # one crash instant
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"bsdtrace/internal/cachesim"
+	"bsdtrace/internal/fault"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/xfer"
@@ -54,6 +60,8 @@ func main() {
 		replace = flag.String("replace", "lru", "replacement: lru, fifo, clock, random")
 		paging  = flag.Bool("paging", false, "simulate program page-in as whole-file reads")
 		sweep   = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, flush")
+		crashN  = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
+		crashAt = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -115,6 +123,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fscachesim: unknown replacement %q\n", *replace)
 		os.Exit(1)
+	}
+
+	if *crashN > 0 {
+		if err := runCrashSweep(w, tape, cfg.BlockSize, cfg.CacheSize, *crashN); err != nil {
+			fmt.Fprintln(os.Stderr, "fscachesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crashAt > 0 {
+		if err := runCrashAt(w, tape, cfg, trace.Time((*crashAt).Milliseconds())); err != nil {
+			fmt.Fprintln(os.Stderr, "fscachesim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	r, err := cachesim.SimulateTape(tape, cfg)
@@ -214,4 +237,35 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 		return t.Render(w)
 	}
 	return fmt.Errorf("unknown sweep %q", name)
+}
+
+// runCrashSweep samples n crash points across the trace and reports, for
+// each of the paper's write policies, what a crash would lose — one tape
+// replay per policy, all points sampled in the same pass.
+func runCrashSweep(w *os.File, tape *xfer.Tape, blockSize, cacheSize int64, n int) error {
+	points := fault.Points(tape, n)
+	pols := cachesim.PaperPolicies()
+	reps, err := fault.PolicySweepTape(tape, blockSize, cacheSize, pols, points)
+	if err != nil {
+		return err
+	}
+	report.Reliability(pols, reps, cacheSize, blockSize, len(points)).Render(w)
+	return nil
+}
+
+// runCrashAt reports the loss of a single crash instant under one
+// configuration.
+func runCrashAt(w *os.File, tape *xfer.Tape, cfg cachesim.Config, at trace.Time) error {
+	rep, err := fault.CrashReplayTape(tape, cfg, []trace.Time{at})
+	if err != nil {
+		return err
+	}
+	p := rep.Points[0]
+	fmt.Fprintf(w, "crash at %v under %v (cache %s, blocks %s):\n",
+		p.Time, cfg.Write, report.Size(cfg.CacheSize), report.Size(cfg.BlockSize))
+	fmt.Fprintf(w, "lost: %s in %s dirty blocks\n", report.Size(p.Bytes), report.Count(p.Blocks))
+	if p.Blocks > 0 {
+		fmt.Fprintf(w, "oldest lost data: %v unflushed; mean %v\n", p.MaxAge, p.MeanAge)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"bsdtrace/internal/cachesim"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
 	"bsdtrace/internal/xfer"
@@ -65,5 +66,45 @@ func TestRunSweeps(t *testing.T) {
 	}
 	if err := runSweep(os.Stdout, tape, "nope"); err == nil {
 		t.Errorf("unknown sweep accepted")
+	}
+}
+
+func TestRunCrashSweepAndCrashAt(t *testing.T) {
+	res, err := workload.Generate(workload.Config{Profile: "A5", Seed: 8, Duration: 15 * trace.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape, err := xfer.NewTape(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Create(filepath.Join(t.TempDir(), "crash.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runCrashSweep(f, tape, 4096, 2<<20, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCrashAt(f, tape, cachesim.Config{
+		BlockSize: 4096, CacheSize: 2 << 20, Write: cachesim.DelayedWrite,
+	}, 10*trace.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"Reliability.", "Write-Through", "Delayed Write", "crash at 10m0s", "dirty blocks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crash output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("crash output contains NaN")
 	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"bsdtrace/internal/analyzer"
 	"bsdtrace/internal/cachesim"
+	"bsdtrace/internal/fault"
 	"bsdtrace/internal/ffs"
 	"bsdtrace/internal/namei"
 	"bsdtrace/internal/report"
@@ -45,7 +46,7 @@ func main() {
 	var (
 		duration   = flag.Duration("duration", 8*time.Hour, "simulated time span per trace")
 		seed       = flag.Int64("seed", 1, "random seed")
-		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
+		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, reliability, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
 		ablations  = flag.Bool("ablations", false, "also run the beyond-the-paper ablations (A1, A2, A3, A4)")
 		outPath    = flag.String("o", "", "write the report to a file instead of stdout")
 		dataDir    = flag.String("data", "", "also write every table and figure as CSV files into this directory")
@@ -273,7 +274,7 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 	needPaging := dataDir != "" || want("fig7")
 
 	var a5Tape *xfer.Tape
-	if needPolicy || needBlock || needPaging || want("workingset") || ablations {
+	if needPolicy || needBlock || needPaging || want("workingset") || want("reliability") || ablations {
 		if a5Tape, err = xfer.NewTape(a5Events); err != nil {
 			return fmt.Errorf("cachesim: malformed trace: %v", err)
 		}
@@ -351,6 +352,11 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 	if want("residency") {
 		// 4-Mbyte delayed-write cache, as in the paper's §6.2 remark.
 		report.ResidencyTable(policy[3][3]).Render(w)
+	}
+	if want("reliability") {
+		if err := runReliability(w, a5Tape); err != nil {
+			return err
+		}
 	}
 
 	if dataDir != "" {
@@ -687,6 +693,25 @@ func runStatic(w io.Writer, staticSizes []int64, a *analyzer.Analysis) error {
 	}
 	t.AddRow("files scanned", report.Count(int64(len(staticSizes))), "")
 	return t.Render(w)
+}
+
+// runReliability prices each Table VI write policy in the currency the
+// paper argues about but never measures: the data a crash destroys.
+// Crash points are sampled across the trace in a single replay per
+// policy (internal/fault), off the same shared tape as every other sweep.
+func runReliability(w io.Writer, tape *xfer.Tape) error {
+	const (
+		cacheSize = 2 << 20
+		blockSize = 4096
+		nPoints   = 64
+	)
+	policies := cachesim.PaperPolicies()
+	points := fault.Points(tape, nPoints)
+	reps, err := fault.PolicySweepTape(tape, blockSize, cacheSize, policies, points)
+	if err != nil {
+		return err
+	}
+	return report.Reliability(policies, reps, cacheSize, blockSize, len(points)).Render(w)
 }
 
 func runAblations(w io.Writer, tape *xfer.Tape) error {

@@ -21,7 +21,7 @@ func TestRunFullReport(t *testing.T) {
 		"Inter-event intervals", "Cross-user file sharing",
 		"Figure 1(a)", "Figure 2(a)", "Figure 3.", "Figure 4(b)",
 		"Table VI.", "Figure 5.", "Table VII.", "Figure 6.", "Figure 7.",
-		"Block residency", "Metadata I/O", "Disk space waste",
+		"Block residency", "Reliability.", "Metadata I/O", "Disk space waste",
 		"Shared file server", "Diskless workstations", "Working set W(T)",
 		"Ablation A1.", "Ablation A2.", "Ablation A3.", "Ablation A4.",
 	} {
@@ -87,5 +87,31 @@ func TestRunStability(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stability output missing %q", want)
 		}
+	}
+}
+
+// TestRunReliability renders the crash-injection section alone and
+// checks the paper's qualitative ordering survives into the report:
+// write-through is never vulnerable, and every policy column renders.
+func TestRunReliability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 20*time.Minute, 1, "reliability", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Reliability.", "Write-Through", "30 sec Flush", "5 min Flush", "Delayed Write",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reliability section missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Write-Through") && !strings.Contains(line, "0.0%") {
+			t.Errorf("write-through row should be 0%% vulnerable: %q", line)
+		}
+	}
+	if strings.Contains(out, "Table VI.") {
+		t.Errorf("-only reliability leaked other sections")
 	}
 }

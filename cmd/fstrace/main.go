@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,17 +27,30 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fstrace", flag.ContinueOnError)
 	var (
-		profile  = flag.String("profile", "A5", "machine profile (A5, E3, or C4), or a comma-separated list to merge")
-		seed     = flag.Int64("seed", 1, "random seed (same seed, same trace)")
-		duration = flag.Duration("duration", 8*time.Hour, "simulated time span")
-		scale    = flag.Float64("scale", 1.0, "user population multiplier")
-		out      = flag.String("o", "trace.bin", "output file")
-		text     = flag.Bool("text", false, "write the text format instead of binary")
-		diurnal  = flag.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
-		quiet    = flag.Bool("q", false, "suppress the summary")
+		profile  = fs.String("profile", "A5", "machine profile (A5, E3, or C4), or a comma-separated list to merge")
+		seed     = fs.Int64("seed", 1, "random seed (same seed, same trace)")
+		duration = fs.Duration("duration", 8*time.Hour, "simulated time span")
+		scale    = fs.Float64("scale", 1.0, "user population multiplier")
+		out      = fs.String("o", "trace.bin", "output file")
+		text     = fs.Bool("text", false, "write the text format instead of binary")
+		diurnal  = fs.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
+		quiet    = fs.Bool("q", false, "suppress the summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	profiles := strings.Split(*profile, ",")
 	var res *workload.Result
@@ -50,8 +64,7 @@ func main() {
 			Diurnal:   *diurnal,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fstrace:", err)
-			os.Exit(1)
+			return err
 		}
 		res = r
 		sources = append(sources, r.Events)
@@ -63,20 +76,17 @@ func main() {
 	if *text {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fstrace:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := trace.WriteText(f, res.Events); err != nil {
-			fmt.Fprintln(os.Stderr, "fstrace:", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "fstrace:", err)
-			os.Exit(1)
+			return err
 		}
 	} else if err := trace.WriteFile(*out, res.Events); err != nil {
-		fmt.Fprintln(os.Stderr, "fstrace:", err)
-		os.Exit(1)
+		return err
 	}
 
 	if !*quiet {
@@ -85,20 +95,21 @@ func main() {
 			c.Add(e)
 		}
 		if len(sources) > 1 {
-			fmt.Printf("wrote %s: %d merged profiles (%s), %v simulated each\n",
+			fmt.Fprintf(stdout, "wrote %s: %d merged profiles (%s), %v simulated each\n",
 				*out, len(sources), *profile, *duration)
 		} else {
-			fmt.Printf("wrote %s: profile %s (%s), %d users, %v simulated\n",
+			fmt.Fprintf(stdout, "wrote %s: profile %s (%s), %d users, %v simulated\n",
 				*out, res.Profile.Name, res.Profile.Machine, res.Profile.Users(), *duration)
 		}
-		fmt.Printf("%d events:", c.Total)
+		fmt.Fprintf(stdout, "%d events:", c.Total)
 		for k := trace.KindCreate; k <= trace.KindExec; k++ {
-			fmt.Printf(" %s %d (%.1f%%)", k, c.ByKind[k], 100*c.Fraction(k))
+			fmt.Fprintf(stdout, " %s %d (%.1f%%)", k, c.ByKind[k], 100*c.Fraction(k))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if len(sources) == 1 {
-			fmt.Printf("kernel moved %d bytes read, %d bytes written\n",
+			fmt.Fprintf(stdout, "kernel moved %d bytes read, %d bytes written\n",
 				res.KernelStats.BytesRead, res.KernelStats.BytesWritten)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bsdtrace/internal/trace"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-profile", "nope"},          // unknown machine profile
+		{"-bogus"},                    // unknown flag
+		{"-duration", "not-a-time"},   // unparsable duration
+		{"stray-positional-argument"}, // no positional args accepted
+		{"-o", t.TempDir(), "-q"},     // output path is a directory
+		{"-profile", "A5,nope", "-q"}, // bad profile inside a merge list
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%q) accepted", args)
+		}
+	}
+}
+
+// The binary path: whatever fstrace writes, trace.ReadFile reads back
+// verbatim, and the summary describes it.
+func TestRunBinaryRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "a5.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "A5", "-duration", "5m", "-seed", "3", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace written")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatalf("event %d out of order", i)
+		}
+	}
+	summary := buf.String()
+	for _, want := range []string{"wrote " + out, "profile A5", "events:", "kernel moved"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q in %q", want, summary)
+		}
+	}
+
+	// Same seed, same trace — the determinism the -seed flag promises.
+	out2 := filepath.Join(t.TempDir(), "again.trace")
+	if err := run([]string{"-profile", "A5", "-duration", "5m", "-seed", "3", "-o", out2, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	events2, err := trace.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, events2) {
+		t.Error("same seed produced different traces")
+	}
+}
+
+// The text path: -text output parses back to the same events the binary
+// format carries.
+func TestRunTextMatchesBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	txt := filepath.Join(dir, "t.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "C4", "-duration", "5m", "-seed", "7", "-o", bin, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", "C4", "-duration", "5m", "-seed", "7", "-text", "-o", txt, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("-q still printed: %q", buf.String())
+	}
+	binEvents, err := trace.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	txtEvents, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(binEvents, txtEvents) {
+		t.Errorf("text trace (%d events) differs from binary (%d events)", len(txtEvents), len(binEvents))
+	}
+}
+
+// The merge path: a profile list produces one time-ordered stream and a
+// merged-summary line.
+func TestRunMergesProfiles(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "server.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "A5,E3", "-duration", "5m", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 merged profiles") {
+		t.Errorf("merge summary missing: %q", buf.String())
+	}
+	merged, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := filepath.Join(t.TempDir(), "a5.trace")
+	if err := run([]string{"-profile", "A5", "-duration", "5m", "-o", single, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	a5, err := trace.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) <= len(a5) {
+		t.Errorf("merged trace has %d events, single A5 has %d", len(merged), len(a5))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time < merged[i-1].Time {
+			t.Fatalf("merged event %d out of order", i)
+		}
+	}
+}

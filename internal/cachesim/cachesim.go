@@ -119,6 +119,13 @@ func (c *Config) fill() error {
 	if c.Write == FlushBack && c.FlushInterval <= 0 {
 		return fmt.Errorf("cachesim: flush-back needs a positive interval")
 	}
+	if c.Write != FlushBack && c.FlushInterval != 0 {
+		// A stray interval on a non-flushing policy is a config mixup
+		// (most likely a sweep reusing a flush-back Config); accepting it
+		// silently would let two configs that look different simulate
+		// identically.
+		return fmt.Errorf("cachesim: %v takes no flush interval (got %v)", c.Write, c.FlushInterval)
+	}
 	if c.ResidencyThreshold <= 0 {
 		c.ResidencyThreshold = 20 * trace.Minute
 	}
@@ -230,6 +237,9 @@ type cache struct {
 	// onDisk observes every disk operation (used by the two-level
 	// simulation, where a client's "disk" is the server).
 	onDisk func(id int32, write bool, t trace.Time)
+	// obs observes the dirty-set lifecycle (used by the crash-injection
+	// layer in internal/fault). Nil for plain simulations.
+	obs Observer
 	// freeList recycles evicted block frames; the simulator allocates at
 	// most capacity+1 frames over its whole run, keeping long sweeps off
 	// the garbage collector's back.
@@ -262,25 +272,33 @@ func newCache(tape *xfer.Tape, r *resolved, cfg Config) *cache {
 }
 
 // advance moves the clock forward, running any flush-back scans that came
-// due. The clock never moves backwards (the BillAtStart ablation can
-// present slightly out-of-order times; they are processed at the current
-// clock).
+// due. Overdue scans execute at their scheduled times, in order, before
+// the clock catches up to t: a scan due at 30 s that is only discovered
+// by an event at 100 s still writes its blocks at clock 30 s, so onDisk
+// timestamps and crash-loss windows are exact. The clock never moves
+// backwards (the BillAtStart ablation can present slightly out-of-order
+// times; they are processed at the current clock).
 func (c *cache) advance(t trace.Time) {
+	if c.cfg.Write == FlushBack {
+		for c.nextFlush <= t {
+			if c.nextFlush > c.now {
+				c.now = c.nextFlush
+			}
+			for _, b := range c.dirties {
+				if b.dirty {
+					b.dirty = false
+					c.diskWrite(b.id)
+					if c.obs != nil {
+						c.obs.BlockCleaned(b.id, c.now, CleanFlushed)
+					}
+				}
+			}
+			c.dirties = c.dirties[:0]
+			c.nextFlush += c.cfg.FlushInterval
+		}
+	}
 	if t > c.now {
 		c.now = t
-	}
-	if c.cfg.Write != FlushBack {
-		return
-	}
-	for c.nextFlush <= c.now {
-		for _, b := range c.dirties {
-			if b.dirty {
-				b.dirty = false
-				c.diskWrite(b.id)
-			}
-		}
-		c.dirties = c.dirties[:0]
-		c.nextFlush += c.cfg.FlushInterval
 	}
 }
 
@@ -316,8 +334,14 @@ func (c *cache) drop(b *block, writeBack bool) {
 	if b.dirty {
 		if writeBack {
 			c.diskWrite(b.id)
+			if c.obs != nil {
+				c.obs.BlockCleaned(b.id, c.now, CleanWriteBack)
+			}
 		} else {
 			c.res.DirtyDiscarded++
+			if c.obs != nil {
+				c.obs.BlockCleaned(b.id, c.now, CleanDiscarded)
+			}
 		}
 		b.dirty = false
 	}
@@ -380,6 +404,9 @@ func (c *cache) markDirty(b *block) {
 		b.dirty = true
 		if c.cfg.Write == FlushBack {
 			c.dirties = append(c.dirties, b)
+		}
+		if c.obs != nil {
+			c.obs.BlockDirtied(b.id, c.now)
 		}
 	}
 }
@@ -494,19 +521,7 @@ func SimulateTape(tape *xfer.Tape, cfg Config) (*Result, error) {
 // count and scheduling cannot affect any result. All configurations are
 // validated before any work starts.
 func MultiSimulate(tape *xfer.Tape, cfgs []Config) ([]*Result, error) {
-	filled := make([]Config, len(cfgs))
-	for i, cfg := range cfgs {
-		if err := cfg.fill(); err != nil {
-			return nil, err
-		}
-		filled[i] = cfg
-	}
-	out := make([]*Result, len(cfgs))
-	runParallel(len(filled), func(i int) error {
-		out[i] = simulateResolved(tape, resolvedFor(tape, filled[i].BlockSize), filled[i])
-		return nil
-	})
-	return out, nil
+	return MultiSimulateObserved(tape, cfgs, nil)
 }
 
 // Simulate runs one cache simulation over a time-ordered trace. It is
@@ -547,6 +562,14 @@ func CountTapeAccesses(tape *xfer.Tape, blockSize int64, simulatePaging bool) in
 		op := &tape.Ops[i]
 		if op.Kind == xfer.OpTransfer || (op.Kind == xfer.OpExec && simulatePaging) {
 			t := &tape.Transfers[op.Xfer]
+			if t.Length <= 0 {
+				// xfer.NewTape never emits an empty run (see the tape
+				// invariant test there), but the span arithmetic below
+				// would count one access for a zero-length run whose
+				// (End-1)/blockSize truncates into Offset's block, so
+				// guard against hand-built tapes.
+				continue
+			}
 			n += (t.End()-1)/blockSize - t.Offset/blockSize + 1
 		}
 	}

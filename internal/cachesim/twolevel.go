@@ -33,6 +33,11 @@ type TwoLevelConfig struct {
 	// through to the server); FlushInterval applies to FlushBack.
 	Write         WritePolicy
 	FlushInterval trace.Time
+	// OnServerDisk, if non-nil, observes every server disk operation:
+	// the block id in the server's global dense ID space, the direction,
+	// and the simulated time. Flush-back write-backs carry their exact
+	// flush-boundary times (see cache.advance).
+	OnServerDisk func(id int32, write bool, t trace.Time)
 }
 
 // TwoLevelResult reports the network's behavior at every level.
@@ -210,7 +215,7 @@ func TwoLevelSimulateTapes(tapes []*xfer.Tape, cfg TwoLevelConfig) (*TwoLevelRes
 		}
 	}
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].time < ops[j].time })
-	sres := replayServer(ops, srvRes, serverCfg)
+	sres := replayServer(ops, srvRes, serverCfg, cfg.OnServerDisk)
 	res.ServerDiskReads = sres.DiskReads
 	res.ServerDiskWrites = sres.DiskWrites
 	return res, nil
@@ -218,8 +223,9 @@ func TwoLevelSimulateTapes(tapes []*xfer.Tape, cfg TwoLevelConfig) (*TwoLevelRes
 
 // replayServer drives the time-ordered server traffic into the server
 // cache.
-func replayServer(ops []serverOp, r *resolved, cfg Config) *Result {
+func replayServer(ops []serverOp, r *resolved, cfg Config, onDisk func(id int32, write bool, t trace.Time)) *Result {
 	srv := newCache(&xfer.Tape{}, r, cfg)
+	srv.onDisk = onDisk
 	for i := range ops {
 		op := &ops[i]
 		srv.advance(op.time)

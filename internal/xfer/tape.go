@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"sort"
 	"sync"
 
 	"bsdtrace/internal/trace"
@@ -151,6 +152,25 @@ func NewTape(events []trace.Event) (*Tape, error) {
 		return nil, errs[0]
 	}
 	return t, nil
+}
+
+// Truncate returns the tape's prefix up to and including time at: every
+// op with Time <= at, followed (if needed) by a bare clock advance to
+// exactly at, so that time-driven machinery — flush-back scans scheduled
+// at or before at — observes the same clock motion a full replay would
+// have delivered by that instant. Replaying the truncated tape therefore
+// reproduces the cache state of a crash at time at; the crash-injection
+// layer uses independent truncated replays as the oracle for its
+// single-pass sweep. Transfers and OldSizes are shared with the receiver
+// (both are read-only); the memo cache and Unclosed are not carried over.
+func (t *Tape) Truncate(at trace.Time) *Tape {
+	n := sort.Search(len(t.Ops), func(i int) bool { return t.Ops[i].Time > at })
+	ops := make([]Op, n, n+1)
+	copy(ops, t.Ops[:n])
+	if n == 0 || ops[n-1].Time < at {
+		ops = append(ops, Op{Kind: OpAdvance, Time: at})
+	}
+	return &Tape{Ops: ops, Transfers: t.Transfers, OldSizes: t.OldSizes}
 }
 
 // Memo returns the value cached on the tape under key, building and
