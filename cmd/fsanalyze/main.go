@@ -2,6 +2,10 @@
 // over one or more trace files and prints Tables III-V, the §3.1
 // inter-event intervals, the sharing extension, and Figures 1-4.
 //
+// Binary traces are consumed as streams: each file is read once, event by
+// event, through the analyzer's incremental state machine, so the trace
+// never needs to fit in memory.
+//
 // Usage:
 //
 //	fsanalyze a5.trace e3.trace c4.trace
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,46 +58,107 @@ func main() {
 	}
 }
 
-func load(path string, text bool) ([]trace.Event, error) {
-	if text {
+// open returns a stream over one trace file. Binary traces stream straight
+// off the file; the text format is line-oriented and small, so it is read
+// whole and replayed from memory.
+func open(path string, opts options) (trace.Source, io.Closer, error) {
+	var src trace.Source
+	var closer io.Closer
+	if opts.text {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer f.Close()
-		return trace.ReadText(f)
+		events, err := trace.ReadText(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		src = trace.NewSliceSource(events)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		src, closer = r, f
 	}
-	return trace.ReadFile(path)
+	if opts.from > 0 || opts.to > 0 {
+		to := trace.Time(math.MaxInt64)
+		if opts.to > 0 {
+			to = trace.Time(opts.to.Milliseconds())
+		}
+		src = trace.WindowSource(src, trace.Time(opts.from.Milliseconds()), to)
+	}
+	return src, closer, nil
 }
 
 func run(w io.Writer, paths []string, opts options) error {
 	tr := report.Traces{}
-	var allEvents [][]trace.Event
+	var tops []*analyzer.TopAccum
 	for _, path := range paths {
-		events, err := load(path, opts.text)
+		src, closer, err := open(path, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		if opts.from > 0 || opts.to > 0 {
-			to := trace.Time(opts.to.Milliseconds())
-			if opts.to == 0 && len(events) > 0 {
-				to = events[len(events)-1].Time + 1
-			}
-			events = trace.Window(events, trace.Time(opts.from.Milliseconds()), to)
-		}
+
 		if opts.validate {
-			errs, unclosed := trace.Validate(events)
-			for _, e := range errs {
+			v := trace.NewValidator(0)
+			var n int
+			for {
+				e, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				v.Check(e)
+				n++
+			}
+			unclosed := v.Finish()
+			for _, e := range v.Errs() {
 				fmt.Fprintf(w, "%s: %v\n", path, e)
 			}
 			fmt.Fprintf(w, "%s: %d events, %d validation errors, %d unclosed opens\n",
-				path, len(events), len(errs), unclosed)
+				path, n, len(v.Errs()), unclosed)
+			if closer != nil {
+				closer.Close()
+			}
 			continue
+		}
+
+		// One pass feeds the analyzer and, when asked for, the busiest-file
+		// accumulator.
+		s := analyzer.NewStream(analyzer.Options{})
+		var top *analyzer.TopAccum
+		if opts.top > 0 {
+			top = analyzer.NewTopAccum()
+		}
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			s.Feed(e)
+			if top != nil {
+				top.Feed(e)
+			}
+		}
+		if closer != nil {
+			closer.Close()
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		tr.Names = append(tr.Names, name)
-		tr.Analyses = append(tr.Analyses, analyzer.Analyze(events, analyzer.Options{}))
-		allEvents = append(allEvents, events)
+		tr.Analyses = append(tr.Analyses, s.Finish())
+		tops = append(tops, top)
 	}
 	if opts.validate {
 		return nil
@@ -136,7 +202,7 @@ func run(w io.Writer, paths []string, opts options) error {
 	}
 
 	if opts.top > 0 {
-		for i, events := range allEvents {
+		for i, top := range tops {
 			t := &report.Table{
 				Title:  fmt.Sprintf("Busiest files in %s (top %d by opens+execs).", tr.Names[i], opts.top),
 				Header: []string{"File ID", "Opens", "Execs", "Bytes moved", "Last size", "Shared"},
@@ -144,7 +210,7 @@ func run(w io.Writer, paths []string, opts options) error {
 					"megabyte-scale entries at the top are the administrative files of the " +
 					"paper's Figure 2 tail; the heavily executed ones are shared commands.",
 			}
-			for _, f := range analyzer.TopFiles(events, opts.top) {
+			for _, f := range top.Top(opts.top) {
 				shared := "no"
 				if f.Users > 1 {
 					shared = "yes"

@@ -1,0 +1,190 @@
+// Command fsbench measures the streaming scale engine's throughput and
+// writes a machine-readable benchmark record (BENCH_scale.json). For each
+// user-population scale it times the four stages of the streaming
+// pipeline in isolation:
+//
+//   - generate: sharded workload generation (one shard per core),
+//     streamed to a discarding sink;
+//   - merge: the k-way merge over 8 pre-split strands of the trace;
+//   - stream-analyze: the incremental Section-5 analyzer consuming the
+//     trace one event at a time;
+//   - tape-build: the incremental transfer-tape builder doing the same.
+//
+// Each stage reports events/second, so regressions in any layer of the
+// pipeline show up as a drop in its own row rather than hiding in an
+// end-to-end number.
+//
+// Usage:
+//
+//	fsbench                          # scales 1, 4, 16; 1h traces
+//	fsbench -scales 1,8 -duration 30m
+//	fsbench -o BENCH_scale.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+	"bsdtrace/internal/xfer"
+)
+
+// benchRecord is the file-level JSON shape.
+type benchRecord struct {
+	Config  benchConfig   `json:"config"`
+	Results []stageResult `json:"results"`
+}
+
+type benchConfig struct {
+	Profile    string    `json:"profile"`
+	Seed       int64     `json:"seed"`
+	DurationMS int64     `json:"duration_ms"`
+	Scales     []float64 `json:"scales"`
+	Shards     int       `json:"shards"`
+	GoMaxProcs int       `json:"go_max_procs"`
+	GoVersion  string    `json:"go_version"`
+}
+
+type stageResult struct {
+	Scale        float64 `json:"scale"`
+	Stage        string  `json:"stage"`
+	Events       int64   `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", time.Hour, "simulated time span per trace")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scalesF  = flag.String("scales", "1,4,16", "comma-separated user-population scales")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "generation shards (sharded generate stage)")
+		out      = flag.String("o", "BENCH_scale.json", "output file")
+	)
+	flag.Parse()
+
+	var scales []float64
+	for _, s := range strings.Split(*scalesF, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "fsbench: bad scale %q\n", s)
+			os.Exit(2)
+		}
+		scales = append(scales, v)
+	}
+
+	rec := benchRecord{
+		Config: benchConfig{
+			Profile:    "A5",
+			Seed:       *seed,
+			DurationMS: duration.Milliseconds(),
+			Scales:     scales,
+			Shards:     *shards,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+
+	for _, scale := range scales {
+		results, err := benchScale(*seed, trace.Time(duration.Milliseconds()), scale, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		rec.Results = append(rec.Results, results...)
+		for _, r := range results {
+			fmt.Printf("scale %4g  %-15s %9d events  %8.3fs  %12.0f events/sec\n",
+				r.Scale, r.Stage, r.Events, r.Seconds, r.EventsPerSec)
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchScale times the four pipeline stages at one population scale.
+func benchScale(seed int64, duration trace.Time, scale float64, shards int) ([]stageResult, error) {
+	cfg := workload.Config{
+		Profile: "A5", Seed: seed, Duration: duration,
+		UserScale: scale, Shards: shards,
+	}
+	row := func(stage string, events int64, elapsed time.Duration) stageResult {
+		secs := elapsed.Seconds()
+		eps := 0.0
+		if secs > 0 {
+			eps = float64(events) / secs
+		}
+		return stageResult{Scale: scale, Stage: stage, Events: events, Seconds: secs, EventsPerSec: eps}
+	}
+
+	// Stage 1: sharded generation, events discarded at the sink. This is
+	// the producer's peak rate — nothing downstream throttles it.
+	var n int64
+	start := time.Now()
+	if _, err := workload.GenerateStream(cfg, func(trace.Event) error { n++; return nil }); err != nil {
+		return nil, err
+	}
+	results := []stageResult{row("generate", n, time.Since(start))}
+
+	// The remaining stages consume a materialized copy of the same trace
+	// so each stage's cost is measured alone.
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	events := res.Events
+
+	// Stage 2: 8-way merge over pre-split strands.
+	const strands = 8
+	split := make([][]trace.Event, strands)
+	for i, e := range events {
+		split[i%strands] = append(split[i%strands], e)
+	}
+	sources := make([]trace.Source, strands)
+	for i := range split {
+		sources[i] = trace.NewSliceSource(split[i])
+	}
+	var merged int64
+	start = time.Now()
+	m := trace.NewMergeSource(sources...)
+	for {
+		if _, err := m.Next(); err != nil {
+			break
+		}
+		merged++
+	}
+	results = append(results, row("merge", merged, time.Since(start)))
+
+	// Stage 3: incremental analyzer.
+	start = time.Now()
+	if _, err := analyzer.AnalyzeSource(trace.NewSliceSource(events), analyzer.Options{}); err != nil {
+		return nil, err
+	}
+	results = append(results, row("stream-analyze", int64(len(events)), time.Since(start)))
+
+	// Stage 4: incremental tape builder.
+	start = time.Now()
+	if _, err := xfer.BuildTape(trace.NewSliceSource(events)); err != nil {
+		return nil, err
+	}
+	results = append(results, row("tape-build", int64(len(events)), time.Since(start)))
+
+	return results, nil
+}

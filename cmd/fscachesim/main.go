@@ -68,16 +68,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fscachesim [flags] trace.bin")
 		os.Exit(2)
 	}
-	events, err := trace.ReadFile(flag.Arg(0))
+	// Reconstruct the transfer tape once, streaming the trace file event
+	// by event (the raw events are never materialized); every
+	// configuration below — single run or sweep — replays the same tape.
+	tape, err := buildTape(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
-		os.Exit(1)
-	}
-	// Reconstruct the transfer tape once; every configuration below —
-	// single run or sweep — replays the same tape.
-	tape, err := xfer.NewTape(events)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fscachesim: malformed trace: %v\n", err)
 		os.Exit(1)
 	}
 	w := os.Stdout
@@ -155,6 +151,24 @@ func main() {
 	fmt.Fprintf(w, "dirty blocks that died in cache: %s (%s of dirtied)\n",
 		report.Count(r.DirtyDiscarded), report.Pct(r.NeverWrittenFraction()))
 	fmt.Fprintf(w, "blocks resident > %v: %s\n", r.Config.ResidencyThreshold, report.Pct(r.ResidencyOver))
+}
+
+// buildTape streams a binary trace file into a transfer tape.
+func buildTape(path string) (*xfer.Tape, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	tape, err := xfer.BuildTape(r)
+	if err != nil {
+		return nil, fmt.Errorf("malformed trace: %w", err)
+	}
+	return tape, nil
 }
 
 func runSweep(w *os.File, tape *xfer.Tape, name string) error {

@@ -5,10 +5,17 @@
 // (the paper reports cache results for A5 only; the three traces produce
 // nearly indistinguishable results).
 //
-// The three traces generate on parallel workers, and every cache
-// simulation replays the A5 transfer tape (xfer.Tape), built once and
-// shared by all configurations; -only runs only the simulations the
-// requested item needs.
+// The run is built for scale: each machine's trace is generated exactly
+// once, streamed into a spill file in a temp directory, and every consumer
+// — the reference-pattern analyzer, the transfer-tape builder, the
+// fragmentation replay, the merged-server section — re-reads the spill
+// file as a stream. No trace is ever materialized in memory, so -scale
+// and -shards can push the fleet far past what a slice-of-events design
+// could hold; -shards N additionally generates each machine's population
+// as N concurrent shards merged into one deterministic stream. Every
+// cache simulation replays the A5 transfer tape (xfer.Tape), built once
+// during the analyzer's pass and shared by all configurations; -only runs
+// only the simulations the requested item needs.
 //
 // Usage:
 //
@@ -16,6 +23,7 @@
 //	fsreport -duration 2h         # quicker
 //	fsreport -only tableVI        # a single table or figure
 //	fsreport -ablations           # include the beyond-the-paper ablations
+//	fsreport -scale 16 -shards 8  # a 16x fleet, sharded generation
 //	fsreport -cpuprofile cpu.pb.gz   # profile the run
 package main
 
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -42,12 +51,25 @@ import (
 	"bsdtrace/internal/xfer"
 )
 
+// reportConfig carries the report run's knobs.
+type reportConfig struct {
+	duration  time.Duration
+	seed      int64
+	only      string
+	ablations bool
+	dataDir   string
+	scale     float64
+	shards    int
+}
+
 func main() {
 	var (
 		duration   = flag.Duration("duration", 8*time.Hour, "simulated time span per trace")
 		seed       = flag.Int64("seed", 1, "random seed")
 		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, reliability, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
 		ablations  = flag.Bool("ablations", false, "also run the beyond-the-paper ablations (A1, A2, A3, A4)")
+		scale      = flag.Float64("scale", 1.0, "user population multiplier per machine")
+		shards     = flag.Int("shards", 1, "generate each machine's population as N concurrent shards")
 		outPath    = flag.String("o", "", "write the report to a file instead of stdout")
 		dataDir    = flag.String("data", "", "also write every table and figure as CSV files into this directory")
 		stability  = flag.Int("stability", 0, "instead of the report, run the headline metrics across N seeds and print mean ± sd")
@@ -84,7 +106,15 @@ func main() {
 	if *stability > 0 {
 		err = runStability(w, *duration, *seed, *stability)
 	} else {
-		err = run(w, *duration, *seed, *only, *ablations, *dataDir)
+		err = run(w, reportConfig{
+			duration:  *duration,
+			seed:      *seed,
+			only:      *only,
+			ablations: *ablations,
+			dataDir:   *dataDir,
+			scale:     *scale,
+			shards:    *shards,
+		})
 	}
 
 	if *cpuprofile != "" {
@@ -154,11 +184,47 @@ func parallel(n int, job func(i int) error) error {
 	return firstErr
 }
 
+// generateSpill streams one machine's trace into a binary spill file and
+// returns the generation result (Events nil — the trace lives on disk).
+func generateSpill(cfg workload.Config, path string) (*workload.Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := trace.NewWriter(f)
+	res, err := workload.GenerateStream(cfg, w.Write)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return res, f.Close()
+}
+
+// openTrace opens a spill file for one streaming pass. The caller closes
+// the file when the pass ends.
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
 // runStability regenerates the A5 workload with n different seeds on
 // parallel workers and reports the spread of the headline metrics: the
 // reproduction's shapes are properties of the workload model, not of one
-// lucky seed. Per-seed values aggregate in seed order, so the output is
-// identical at any worker count.
+// lucky seed. Each seed's trace streams straight from the generator into
+// the analyzer and tape builder — never materialized. Per-seed values
+// aggregate in seed order, so the output is identical at any worker count.
 func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) error {
 	metrics := []struct {
 		name string
@@ -177,13 +243,18 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 	seedVals := make([][]float64, n)
 	err := parallel(n, func(i int) error {
 		seed := baseSeed + int64(i)
-		res, err := workload.Generate(workload.Config{
+		s := analyzer.NewStream(analyzer.Options{})
+		tb := xfer.NewTapeBuilder()
+		if _, err := workload.GenerateStream(workload.Config{
 			Profile: "A5", Seed: seed, Duration: trace.Time(duration.Milliseconds()),
-		})
-		if err != nil {
+		}, func(e trace.Event) error {
+			s.Feed(e)
+			tb.Add(e)
+			return nil
+		}); err != nil {
 			return err
 		}
-		a := analyzer.Analyze(res.Events, analyzer.Options{})
+		a := s.Finish()
 		lf := a.Lifetimes.ByFiles
 		vals := []float64{
 			100 * a.Sequentiality.WholeFileFraction(analyzer.ClassReadOnly),
@@ -191,7 +262,7 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 			100 * (lf.FractionAtOrBelow(182) - lf.FractionAtOrBelow(178)),
 			a.Activity.Long.PerUserThroughput.Mean(),
 		}
-		tape, err := xfer.NewTape(res.Events)
+		tape, err := tb.Finish()
 		if err != nil {
 			return fmt.Errorf("cachesim: malformed trace: %v", err)
 		}
@@ -228,57 +299,102 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 	return t.Render(w)
 }
 
-func run(w io.Writer, duration time.Duration, seed int64, only string, ablations bool, dataDir string) error {
+func run(w io.Writer, cfg reportConfig) error {
 	want := func(name string) bool {
-		return only == "" || strings.EqualFold(only, name)
+		return cfg.only == "" || strings.EqualFold(cfg.only, name)
+	}
+	if cfg.scale <= 0 {
+		cfg.scale = 1
 	}
 
 	fmt.Fprintf(w, "Reproduction of \"A Trace-Driven Analysis of the UNIX 4.2 BSD File System\" (SOSP 1985)\n")
-	fmt.Fprintf(w, "Synthetic traces: %v per machine, seed %d (see DESIGN.md for the substitution rationale)\n\n", duration, seed)
+	fmt.Fprintf(w, "Synthetic traces: %v per machine, seed %d (see DESIGN.md for the substitution rationale)\n", cfg.duration, cfg.seed)
+	if cfg.scale != 1 || cfg.shards > 1 {
+		fmt.Fprintf(w, "Scaled fleet: %gx user population, %d generation shards per machine\n", cfg.scale, cfg.shards)
+	}
+	fmt.Fprintln(w)
 
-	// Generate and analyze the three machine traces on parallel workers.
+	// Generate each machine's trace exactly once, streamed into a spill
+	// file; every consumer below re-reads the spill as a stream.
 	names := []string{"A5", "E3", "C4"}
-	machineEvents := make([][]trace.Event, len(names))
-	analyses := make([]*analyzer.Analysis, len(names))
-	var a5Static []int64
-	err := parallel(len(names), func(i int) error {
-		res, err := workload.Generate(workload.Config{
-			Profile:  names[i],
-			Seed:     seed,
-			Duration: trace.Time(duration.Milliseconds()),
-		})
-		if err != nil {
-			return err
-		}
-		machineEvents[i] = res.Events
-		analyses[i] = analyzer.Analyze(res.Events, analyzer.Options{})
-		if names[i] == "A5" {
-			a5Static = res.StaticSizes
-		}
-		return nil
-	})
+	spillDir, err := os.MkdirTemp("", "fsreport")
 	if err != nil {
 		return err
 	}
-	tr := report.Traces{Names: names, Analyses: analyses}
-	a5Events := machineEvents[0]
+	defer os.RemoveAll(spillDir)
+	paths := make([]string, len(names))
+	statics := make([][]int64, len(names))
+	if err := parallel(len(names), func(i int) error {
+		paths[i] = filepath.Join(spillDir, names[i]+".trace")
+		res, err := generateSpill(workload.Config{
+			Profile:   names[i],
+			Seed:      cfg.seed,
+			Duration:  trace.Time(cfg.duration.Milliseconds()),
+			UserScale: cfg.scale,
+			Shards:    cfg.shards,
+		}, paths[i])
+		if err != nil {
+			return err
+		}
+		statics[i] = res.StaticSizes
+		return nil
+	}); err != nil {
+		return err
+	}
+	a5Static := statics[0]
 
-	// Section 6 sweeps on A5, off one shared transfer tape — and only
-	// the sweeps the requested items actually need (-data exports them
-	// all).
+	// Which Section-6 sweeps do the requested items need? (-data exports
+	// them all.)
 	cacheSizes := cachesim.PaperCacheSizes()
 	policies := cachesim.PaperPolicies()
-	needPolicy := dataDir != "" || want("tableI") || want("tableVI") || want("fig5") ||
+	needPolicy := cfg.dataDir != "" || want("tableI") || want("tableVI") || want("fig5") ||
 		want("residency") || want("metadata")
-	needBlock := dataDir != "" || want("tableI") || want("tableVII") || want("fig6")
-	needPaging := dataDir != "" || want("fig7")
+	needBlock := cfg.dataDir != "" || want("tableI") || want("tableVII") || want("fig6")
+	needPaging := cfg.dataDir != "" || want("fig7")
+	needTape := needPolicy || needBlock || needPaging ||
+		want("workingset") || want("reliability") || cfg.ablations
 
+	// Analyze the three machines on parallel workers, one streaming pass
+	// each; A5's pass simultaneously builds the shared transfer tape, so
+	// its spill file is read once for both.
+	analyses := make([]*analyzer.Analysis, len(names))
 	var a5Tape *xfer.Tape
-	if needPolicy || needBlock || needPaging || want("workingset") || want("reliability") || ablations {
-		if a5Tape, err = xfer.NewTape(a5Events); err != nil {
-			return fmt.Errorf("cachesim: malformed trace: %v", err)
+	if err := parallel(len(names), func(i int) error {
+		r, f, err := openTrace(paths[i])
+		if err != nil {
+			return err
 		}
+		defer f.Close()
+		s := analyzer.NewStream(analyzer.Options{})
+		var tb *xfer.TapeBuilder
+		if i == 0 && needTape {
+			tb = xfer.NewTapeBuilder()
+		}
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			s.Feed(e)
+			if tb != nil {
+				tb.Add(e)
+			}
+		}
+		analyses[i] = s.Finish()
+		if tb != nil {
+			if a5Tape, err = tb.Finish(); err != nil {
+				return fmt.Errorf("cachesim: malformed trace: %v", err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
+	tr := report.Traces{Names: names, Analyses: analyses}
+
 	var policy [][]*cachesim.Result
 	var block *cachesim.BlockSizeSweepResult
 	var paging [][2]*cachesim.Result
@@ -359,7 +475,7 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 		}
 	}
 
-	if dataDir != "" {
+	if cfg.dataDir != "" {
 		var d report.DataSet
 		d.AddTable("tableIII", report.TableIII(tr))
 		d.AddTable("tableIV", report.TableIV(tr))
@@ -380,36 +496,41 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 		d.AddChart("fig5", report.Figure5(cacheSizes, policies, policy))
 		d.AddChart("fig6", report.Figure6(block))
 		d.AddChart("fig7", report.Figure7(cacheSizes, paging))
-		paths, err := d.WriteDir(dataDir)
+		dataPaths, err := d.WriteDir(cfg.dataDir)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote %d CSV files to %s\n\n", len(paths), dataDir)
+		fmt.Fprintf(w, "wrote %d CSV files to %s\n\n", len(dataPaths), cfg.dataDir)
 	}
 
 	if want("metadata") {
-		if err := runMetadata(w, duration, seed, policy[0][1]); err != nil {
+		if err := runMetadata(w, cfg.duration, cfg.seed, cfg.scale, policy[0][1]); err != nil {
 			return err
 		}
 	}
 	if want("fragmentation") {
-		if err := runFragmentation(w, a5Events); err != nil {
+		if err := runFragmentation(w, paths[0]); err != nil {
 			return err
 		}
 	}
 
 	// The server and diskless sections replay all three machines; they
-	// share one tape per machine (A5's is the sweep tape).
+	// share one tape per machine (A5's is the sweep tape), each built by
+	// streaming its spill file.
 	var machineTapes []*xfer.Tape
 	if want("server") || want("diskless") {
-		machineTapes = make([]*xfer.Tape, len(machineEvents))
+		machineTapes = make([]*xfer.Tape, len(names))
 		machineTapes[0] = a5Tape
-		if err := parallel(len(machineEvents), func(i int) error {
+		if err := parallel(len(names), func(i int) error {
 			if machineTapes[i] != nil {
 				return nil
 			}
-			var err error
-			if machineTapes[i], err = xfer.NewTape(machineEvents[i]); err != nil {
+			r, f, err := openTrace(paths[i])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if machineTapes[i], err = xfer.BuildTape(r); err != nil {
 				return fmt.Errorf("cachesim: malformed trace: %v", err)
 			}
 			return nil
@@ -418,12 +539,12 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 		}
 	}
 	if want("server") {
-		if err := runServer(w, tr.Names, machineEvents, machineTapes); err != nil {
+		if err := runServer(w, names, paths, machineTapes); err != nil {
 			return err
 		}
 	}
 	if want("diskless") {
-		if err := runDiskless(w, duration, machineTapes); err != nil {
+		if err := runDiskless(w, cfg.duration, machineTapes); err != nil {
 			return err
 		}
 	}
@@ -438,7 +559,7 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 		}
 	}
 
-	if ablations {
+	if cfg.ablations {
 		if err := runAblations(w, a5Tape); err != nil {
 			return err
 		}
@@ -452,8 +573,9 @@ func run(w io.Writer, duration time.Duration, seed int64, only string, ablations
 // "more than half of all disk block references could come from these
 // other accesses" (i-nodes, directories, and paging, which Figure 7
 // covers separately). The three cache scales regenerate on parallel
-// workers (each run drives its own simulator).
-func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cachesim.Result) error {
+// workers (each run drives its own simulator); the events themselves are
+// discarded as they are generated — only the simulator's counters matter.
+func runMetadata(w io.Writer, duration time.Duration, seed int64, scale float64, unixCache *cachesim.Result) error {
 	t := &report.Table{
 		Title:  "Metadata I/O: name lookup, i-nodes, and directories (paper §3.2 and conclusion).",
 		Header: []string{"Name cache", "Name hit ratio", "Inode hit ratio", "Meta disk I/Os", "Meta share of all disk I/O"},
@@ -471,11 +593,14 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cac
 			InodeEntries: scales[i] / 2,
 			DirBlocks:    scales[i] / 6,
 		})
-		if _, err := workload.Generate(workload.Config{
+		// The Meta hook needs the single-kernel path, so this regeneration
+		// is never sharded (shards own separate kernels).
+		if _, err := workload.GenerateStream(workload.Config{
 			Profile: "A5", Seed: seed,
-			Duration: trace.Time(duration.Milliseconds()),
-			Meta:     sim,
-		}); err != nil {
+			Duration:  trace.Time(duration.Milliseconds()),
+			UserScale: scale,
+			Meta:      sim,
+		}, nil); err != nil {
 			return err
 		}
 		sims[i] = sim
@@ -499,9 +624,15 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, unixCache *cac
 }
 
 // runFragmentation quantifies the paper's §6.3 remark: large blocks waste
-// disk space on small files, and FFS fragments recover it.
-func runFragmentation(w io.Writer, events []trace.Event) error {
-	rows, err := ffs.WasteSweep(events, []int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
+// disk space on small files, and FFS fragments recover it. The file
+// population is extracted in one streaming pass over the spill file.
+func runFragmentation(w io.Writer, path string) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := ffs.WasteSweepSource(r, []int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
 	if err != nil {
 		return err
 	}
@@ -513,8 +644,8 @@ func runFragmentation(w io.Writer, events []trace.Event) error {
 			"sizes on disk to avoid wasted space for small files, works well in " +
 			"conjunction with a fixed-block-size cache.\"",
 	}
-	for _, r := range rows {
-		t.AddRow(report.Size(r.BlockSize), report.Pct(r.NoFragWaste), report.Pct(r.FragWaste))
+	for _, row := range rows {
+		t.AddRow(report.Size(row.BlockSize), report.Pct(row.NoFragWaste), report.Pct(row.FragWaste))
 	}
 	return t.Render(w)
 }
@@ -523,9 +654,10 @@ func runFragmentation(w io.Writer, events []trace.Event) error {
 // three machines' traces are merged onto one shared file server, and a
 // single server cache is compared against per-machine caches of the same
 // total memory. Statistical multiplexing — machines are bursty at
-// different moments — is the shared cache's advantage.
-func runServer(w io.Writer, names []string, machines [][]trace.Event, tapes []*xfer.Tape) error {
-	merged := trace.Merge(machines...)
+// different moments — is the shared cache's advantage. The merged trace
+// is never materialized: a k-way merge over the three spill-file readers
+// feeds the tape builder directly.
+func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape) error {
 	const blockSize = 4096
 	perMachine := int64(2 << 20)
 
@@ -541,7 +673,7 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event, tapes []*x
 	// Split: one private cache per machine, summed; and the merged trace
 	// against shared caches of increasing size. All configurations run
 	// on parallel workers.
-	sharedSizes := []int64{perMachine, perMachine * int64(len(machines)), 16 << 20}
+	sharedSizes := []int64{perMachine, perMachine * int64(len(tapes)), 16 << 20}
 	private := make([]*cachesim.Result, len(tapes))
 	shared := make([]*cachesim.Result, len(sharedSizes))
 	jobs := len(tapes) + 1
@@ -556,7 +688,16 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event, tapes []*x
 			private[i] = r
 			return nil
 		}
-		mergedTape, err := xfer.NewTape(merged)
+		sources := make([]trace.Source, len(paths))
+		for j, path := range paths {
+			r, f, err := openTrace(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sources[j] = r
+		}
+		mergedTape, err := xfer.BuildTape(trace.NewMergeSource(sources...))
 		if err != nil {
 			return fmt.Errorf("cachesim: malformed trace: %v", err)
 		}
@@ -581,7 +722,7 @@ func runServer(w io.Writer, names []string, machines [][]trace.Event, tapes []*x
 		t.AddRow(fmt.Sprintf("private cache, %s", names[i]), report.Size(perMachine),
 			report.Count(r.DiskIOs()), report.Pct(r.MissRatio()))
 	}
-	t.AddRow("private caches combined", report.Size(perMachine*int64(len(machines))),
+	t.AddRow("private caches combined", report.Size(perMachine*int64(len(tapes))),
 		report.Count(splitIOs), report.Pct(float64(splitIOs)/float64(splitAccesses)))
 
 	for i, cs := range sharedSizes {

@@ -12,7 +12,7 @@ import (
 // checks every section appears.
 func TestRunFullReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 20*time.Minute, 1, "", true, ""); err != nil {
+	if err := run(&buf, reportConfig{duration: 20 * time.Minute, seed: 1, ablations: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +34,7 @@ func TestRunFullReport(t *testing.T) {
 // TestRunOnly checks section filtering.
 func TestRunOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 10*time.Minute, 2, "tableV", false, ""); err != nil {
+	if err := run(&buf, reportConfig{duration: 10 * time.Minute, seed: 2, only: "tableV"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,7 +50,7 @@ func TestRunOnly(t *testing.T) {
 func TestRunDataExport(t *testing.T) {
 	dir := t.TempDir() + "/data"
 	var buf bytes.Buffer
-	if err := run(&buf, 10*time.Minute, 1, "tableIII", false, dir); err != nil {
+	if err := run(&buf, reportConfig{duration: 10 * time.Minute, seed: 1, only: "tableIII", dataDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -65,10 +65,10 @@ func TestRunDataExport(t *testing.T) {
 // TestRunDeterministic: same seed, same bytes.
 func TestRunDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, 10*time.Minute, 3, "tableIV", false, ""); err != nil {
+	if err := run(&a, reportConfig{duration: 10 * time.Minute, seed: 3, only: "tableIV"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 10*time.Minute, 3, "tableIV", false, ""); err != nil {
+	if err := run(&b, reportConfig{duration: 10 * time.Minute, seed: 3, only: "tableIV"}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -95,7 +95,7 @@ func TestRunStability(t *testing.T) {
 // write-through is never vulnerable, and every policy column renders.
 func TestRunReliability(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 20*time.Minute, 1, "reliability", false, ""); err != nil {
+	if err := run(&buf, reportConfig{duration: 20 * time.Minute, seed: 1, only: "reliability"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

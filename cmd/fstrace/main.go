@@ -7,18 +7,28 @@
 // them, with identifier remapping, into one stream — the shared file
 // server's view of the workload.
 //
+// -shards N splits a profile's (scaled) user population into N
+// independent shards that generate concurrently on all cores and merge
+// into one time-ordered stream. Events flow from the generators through
+// the merge straight into the output file, so memory stays bounded no
+// matter how long the trace or how large the fleet: the trace is never
+// materialized.
+//
 // Usage:
 //
 //	fstrace -profile A5 -duration 8h -seed 1 -o a5.trace
 //	fstrace -profile C4 -duration 2h -text -o c4.txt
 //	fstrace -profile A5,E3,C4 -o server.trace
+//	fstrace -profile A5 -scale 16 -shards 8 -o fleet.trace
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,6 +43,32 @@ func main() {
 	}
 }
 
+// eventWriter is the sink both output formats share: binary via
+// trace.Writer, text one formatted line per event.
+type eventWriter struct {
+	bin    *trace.Writer
+	txt    *bufio.Writer
+	counts trace.Counts
+}
+
+func (w *eventWriter) write(e trace.Event) error {
+	w.counts.Add(e)
+	if w.bin != nil {
+		return w.bin.Write(e)
+	}
+	if _, err := w.txt.WriteString(e.String()); err != nil {
+		return err
+	}
+	return w.txt.WriteByte('\n')
+}
+
+func (w *eventWriter) flush() error {
+	if w.bin != nil {
+		return w.bin.Flush()
+	}
+	return w.txt.Flush()
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fstrace", flag.ContinueOnError)
 	var (
@@ -40,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed (same seed, same trace)")
 		duration = fs.Duration("duration", 8*time.Hour, "simulated time span")
 		scale    = fs.Float64("scale", 1.0, "user population multiplier")
+		shards   = fs.Int("shards", 1, "generate the population as N concurrent shards (deterministic per seed+N)")
 		out      = fs.String("o", "trace.bin", "output file")
 		text     = fs.Bool("text", false, "write the text format instead of binary")
 		diurnal  = fs.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
@@ -52,51 +89,91 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
-	profiles := strings.Split(*profile, ",")
-	var res *workload.Result
-	var sources [][]trace.Event
-	for _, name := range profiles {
-		r, err := workload.Generate(workload.Config{
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := &eventWriter{}
+	if *text {
+		w.txt = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		w.bin = trace.NewWriter(f)
+	}
+
+	cfg := func(name string) workload.Config {
+		return workload.Config{
 			Profile:   strings.TrimSpace(name),
 			Seed:      *seed,
 			Duration:  trace.Time(duration.Milliseconds()),
 			UserScale: *scale,
+			Shards:    *shards,
 			Diurnal:   *diurnal,
-		})
-		if err != nil {
-			return err
 		}
-		res = r
-		sources = append(sources, r.Events)
-	}
-	if len(sources) > 1 {
-		res = &workload.Result{Events: trace.Merge(sources...), Profile: res.Profile}
 	}
 
-	if *text {
-		f, err := os.Create(*out)
+	profiles := strings.Split(*profile, ",")
+	var res *workload.Result
+	if len(profiles) == 1 {
+		// Single machine (possibly sharded): generate straight into the
+		// output file.
+		if res, err = workload.GenerateStream(cfg(profiles[0]), w.write); err != nil {
+			return err
+		}
+	} else {
+		// Several machines: each generates into a spill file, then a
+		// k-way merge streams them into the output with identifier
+		// remapping. Memory stays bounded by the merge's one-event-per-
+		// source buffer.
+		spillDir, err := os.MkdirTemp("", "fstrace-merge")
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteText(f, res.Events); err != nil {
-			f.Close()
-			return err
+		defer os.RemoveAll(spillDir)
+		sources := make([]trace.Source, len(profiles))
+		for i, name := range profiles {
+			path := filepath.Join(spillDir, fmt.Sprintf("m%d.trace", i))
+			if res, err = generateToFile(cfg(name), path); err != nil {
+				return err
+			}
+			sf, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer sf.Close()
+			r, err := trace.NewReader(sf)
+			if err != nil {
+				return err
+			}
+			sources[i] = r
 		}
-		if err := f.Close(); err != nil {
-			return err
+		merge := trace.NewMergeSource(sources...)
+		for {
+			e, err := merge.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := w.write(e); err != nil {
+				return err
+			}
 		}
-	} else if err := trace.WriteFile(*out, res.Events); err != nil {
+	}
+
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 
 	if !*quiet {
-		var c trace.Counts
-		for _, e := range res.Events {
-			c.Add(e)
-		}
-		if len(sources) > 1 {
+		c := w.counts
+		if len(profiles) > 1 {
 			fmt.Fprintf(stdout, "wrote %s: %d merged profiles (%s), %v simulated each\n",
-				*out, len(sources), *profile, *duration)
+				*out, len(profiles), *profile, *duration)
 		} else {
 			fmt.Fprintf(stdout, "wrote %s: profile %s (%s), %d users, %v simulated\n",
 				*out, res.Profile.Name, res.Profile.Machine, res.Profile.Users(), *duration)
@@ -106,10 +183,29 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, " %s %d (%.1f%%)", k, c.ByKind[k], 100*c.Fraction(k))
 		}
 		fmt.Fprintln(stdout)
-		if len(sources) == 1 {
+		if len(profiles) == 1 {
 			fmt.Fprintf(stdout, "kernel moved %d bytes read, %d bytes written\n",
 				res.KernelStats.BytesRead, res.KernelStats.BytesWritten)
 		}
 	}
 	return nil
+}
+
+// generateToFile streams one machine's trace into a binary spill file.
+func generateToFile(cfg workload.Config, path string) (*workload.Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := trace.NewWriter(f)
+	res, err := workload.GenerateStream(cfg, w.Write)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return res, f.Close()
 }

@@ -13,6 +13,7 @@ package analyzer
 
 import (
 	"io"
+	"sort"
 
 	"bsdtrace/internal/stats"
 	"bsdtrace/internal/trace"
@@ -249,6 +250,7 @@ type activityAccum struct {
 	width   trace.Time
 	current int64                  // current interval index
 	users   map[trace.UserID]int64 // bytes per user this interval; presence == active
+	scratch []trace.UserID         // reused per-flush sort buffer
 	row     ActivityRow
 	started bool
 }
@@ -281,8 +283,16 @@ func (a *activityAccum) flush() {
 		a.row.MaxActiveUsers = n
 	}
 	secs := a.width.Seconds()
-	for u, bytes := range a.users {
-		a.row.PerUserThroughput.Add(float64(bytes) / secs)
+	// Feed the accumulator in user order: float summation isn't
+	// associative, so map-iteration order would make the resulting
+	// moments differ bitwise from run to run.
+	a.scratch = a.scratch[:0]
+	for u := range a.users {
+		a.scratch = append(a.scratch, u)
+	}
+	sort.Slice(a.scratch, func(i, j int) bool { return a.scratch[i] < a.scratch[j] })
+	for _, u := range a.scratch {
+		a.row.PerUserThroughput.Add(float64(a.users[u]) / secs)
 		delete(a.users, u)
 	}
 }
@@ -306,61 +316,85 @@ func (a *activityAccum) finish() {
 	}
 }
 
-// Analyze runs the full Section-5 analysis over a time-ordered trace.
-func Analyze(events []trace.Event, opts Options) *Analysis {
-	opts.fill()
-	an := &Analysis{}
+// Stream is the incremental form of the Section-5 analysis: feed it a
+// time-ordered event stream one event at a time and call Finish once at
+// the end. Its working state is bounded by the trace's live population —
+// open files, files alive or shared, the fixed histograms — never by the
+// event count, so a stream of any length analyzes in roughly constant
+// memory. Analyze is exactly a Stream fed from a slice; the two produce
+// identical results by construction, and the equivalence tests pin that.
+type Stream struct {
+	an *Analysis
 
 	// Histograms behind the CDFs. Bounds span the ranges the paper's
 	// figures cover, with log spacing (linear for lifetimes, where the
 	// 180-second daemon spike needs 1-second resolution).
-	runLenRuns := stats.NewLogHistogram(64, 1.3, 60) // bytes: 64 B .. ~400 MB
-	runLenBytes := stats.NewLogHistogram(64, 1.3, 60)
-	sizeFiles := stats.NewLogHistogram(64, 1.3, 60)
-	sizeBytes := stats.NewLogHistogram(64, 1.3, 60)
-	openTimes := stats.NewLogHistogram(0.01, 1.25, 70) // seconds: 10 ms .. ~60 ks
-	lifeFiles := stats.NewLinearHistogram(600, 1)      // seconds, 1 s bins to 10 min
-	lifeBytes := stats.NewLinearHistogram(600, 1)
-	gaps := stats.NewLogHistogram(0.01, 1.25, 70) // seconds
+	runLenRuns  *stats.Histogram
+	runLenBytes *stats.Histogram
+	sizeFiles   *stats.Histogram
+	sizeBytes   *stats.Histogram
+	openTimes   *stats.Histogram
+	lifeFiles   *stats.Histogram
+	lifeBytes   *stats.Histogram
+	gaps        *stats.Histogram
 
-	longAcc := newActivityAccum(opts.LongInterval)
-	shortAcc := newActivityAccum(opts.ShortInterval)
-	usersSeen := make(map[trace.UserID]bool)
-	openUser := make(map[trace.OpenID]trace.UserID)
-	lives := make(map[trace.FileID]*lifeState)
-	shares := make(map[trace.FileID]*fileShare)
+	longAcc   *activityAccum
+	shortAcc  *activityAccum
+	usersSeen map[trace.UserID]bool
+	openUser  map[trace.OpenID]trace.UserID
+	lives     map[trace.FileID]*lifeState
+	shares    map[trace.FileID]*fileShare
 
-	die := func(f trace.FileID, t trace.Time) {
-		st, ok := lives[f]
-		if !ok {
-			return
-		}
-		age := (t - st.birth).Seconds()
-		lifeFiles.Add(age, 1)
-		lifeBytes.Add(age, float64(st.bytes))
-		an.Lifetimes.DeadFiles++
-		delete(lives, f)
+	sc      *xfer.Scanner
+	counter *countingWriter
+	enc     *trace.Writer
+
+	finished bool
+}
+
+// NewStream creates an incremental analyzer.
+func NewStream(opts Options) *Stream {
+	opts.fill()
+	s := &Stream{
+		an:          &Analysis{},
+		runLenRuns:  stats.NewLogHistogram(64, 1.3, 60), // bytes: 64 B .. ~400 MB
+		runLenBytes: stats.NewLogHistogram(64, 1.3, 60),
+		sizeFiles:   stats.NewLogHistogram(64, 1.3, 60),
+		sizeBytes:   stats.NewLogHistogram(64, 1.3, 60),
+		openTimes:   stats.NewLogHistogram(0.01, 1.25, 70), // seconds: 10 ms .. ~60 ks
+		lifeFiles:   stats.NewLinearHistogram(600, 1),      // seconds, 1 s bins to 10 min
+		lifeBytes:   stats.NewLinearHistogram(600, 1),
+		gaps:        stats.NewLogHistogram(0.01, 1.25, 70), // seconds
+		longAcc:     newActivityAccum(opts.LongInterval),
+		shortAcc:    newActivityAccum(opts.ShortInterval),
+		usersSeen:   make(map[trace.UserID]bool),
+		openUser:    make(map[trace.OpenID]trace.UserID),
+		lives:       make(map[trace.FileID]*lifeState),
+		shares:      make(map[trace.FileID]*fileShare),
+		counter:     &countingWriter{},
 	}
+	s.enc = trace.NewWriter(s.counter)
 
-	sc := xfer.NewScanner()
-	sc.OnTransfer = func(x xfer.Transfer) {
+	an := s.an
+	s.sc = xfer.NewScanner()
+	s.sc.OnTransfer = func(x xfer.Transfer) {
 		an.Overall.BytesTransferred += x.Length
 		if x.Write {
 			an.Overall.BytesWritten += x.Length
 		} else {
 			an.Overall.BytesRead += x.Length
 		}
-		runLenRuns.Add(float64(x.Length), 1)
-		runLenBytes.Add(float64(x.Length), float64(x.Length))
-		longAcc.bytes(x.Time, x.User, x.Length)
-		shortAcc.bytes(x.Time, x.User, x.Length)
+		s.runLenRuns.Add(float64(x.Length), 1)
+		s.runLenBytes.Add(float64(x.Length), float64(x.Length))
+		s.longAcc.bytes(x.Time, x.User, x.Length)
+		s.shortAcc.bytes(x.Time, x.User, x.Length)
 		if x.Write {
-			if st, ok := lives[x.File]; ok {
+			if st, ok := s.lives[x.File]; ok {
 				st.bytes += x.Length
 			}
 		}
 	}
-	sc.OnOpenEnd = func(o xfer.OpenSummary) {
+	s.sc.OnOpenEnd = func(o xfer.OpenSummary) {
 		c := classOf(o.Mode)
 		seq := &an.Sequentiality
 		seq.Accesses[c]++
@@ -373,102 +407,125 @@ func Analyze(events []trace.Event, opts Options) *Analysis {
 			seq.Sequential[c]++
 			seq.BytesSequential += o.Bytes
 		}
-		sizeFiles.Add(float64(o.SizeAtClose), 1)
-		sizeBytes.Add(float64(o.SizeAtClose), float64(o.Bytes))
-		openTimes.Add((o.CloseTime - o.OpenTime).Seconds(), 1)
+		s.sizeFiles.Add(float64(o.SizeAtClose), 1)
+		s.sizeBytes.Add(float64(o.SizeAtClose), float64(o.Bytes))
+		s.openTimes.Add((o.CloseTime - o.OpenTime).Seconds(), 1)
 	}
-	sc.OnEventGap = func(g trace.Time) {
-		gaps.Add(g.Seconds(), 1)
+	s.sc.OnEventGap = func(g trace.Time) {
+		s.gaps.Add(g.Seconds(), 1)
+	}
+	return s
+}
+
+// die closes out one live file for the lifetime analysis.
+func (s *Stream) die(f trace.FileID, t trace.Time) {
+	st, ok := s.lives[f]
+	if !ok {
+		return
+	}
+	age := (t - st.birth).Seconds()
+	s.lifeFiles.Add(age, 1)
+	s.lifeBytes.Add(age, float64(st.bytes))
+	s.an.Lifetimes.DeadFiles++
+	delete(s.lives, f)
+}
+
+// Feed analyzes one event. Events must arrive in time order.
+func (s *Stream) Feed(e trace.Event) {
+	an := s.an
+	an.Overall.Counts.Add(e)
+	if e.Time > an.Overall.Duration {
+		an.Overall.Duration = e.Time
+	}
+	s.enc.Write(e)
+
+	// Sharing: record which users touch which files.
+	switch e.Kind {
+	case trace.KindCreate, trace.KindOpen, trace.KindExec:
+		sh := s.shares[e.File]
+		if sh == nil {
+			sh = &fileShare{first: e.User, users: 1}
+			s.shares[e.File] = sh
+		} else if sh.users == 1 && e.User != sh.first {
+			sh.users = 2
+		}
+		sh.accesses++
 	}
 
-	counter := &countingWriter{}
-	enc := trace.NewWriter(counter)
-
-	for _, e := range events {
-		an.Overall.Counts.Add(e)
-		if e.Time > an.Overall.Duration {
-			an.Overall.Duration = e.Time
+	// Attribute the event to a user for the activity analysis.
+	var user trace.UserID
+	hasUser := false
+	switch e.Kind {
+	case trace.KindCreate, trace.KindOpen:
+		user, hasUser = e.User, true
+		s.openUser[e.OpenID] = e.User
+	case trace.KindExec:
+		user, hasUser = e.User, true
+	case trace.KindClose, trace.KindSeek:
+		if u, ok := s.openUser[e.OpenID]; ok {
+			user, hasUser = u, true
 		}
-		enc.Write(e)
-
-		// Sharing: record which users touch which files.
-		switch e.Kind {
-		case trace.KindCreate, trace.KindOpen, trace.KindExec:
-			sh := shares[e.File]
-			if sh == nil {
-				sh = &fileShare{first: e.User, users: 1}
-				shares[e.File] = sh
-			} else if sh.users == 1 && e.User != sh.first {
-				sh.users = 2
-			}
-			sh.accesses++
+		if e.Kind == trace.KindClose {
+			delete(s.openUser, e.OpenID)
 		}
+	}
+	if hasUser {
+		s.usersSeen[user] = true
+		s.longAcc.active(e.Time, user)
+		s.shortAcc.active(e.Time, user)
+	}
 
-		// Attribute the event to a user for the activity analysis.
-		var user trace.UserID
-		hasUser := false
-		switch e.Kind {
-		case trace.KindCreate, trace.KindOpen:
-			user, hasUser = e.User, true
-			openUser[e.OpenID] = e.User
-		case trace.KindExec:
-			user, hasUser = e.User, true
-		case trace.KindClose, trace.KindSeek:
-			if u, ok := openUser[e.OpenID]; ok {
-				user, hasUser = u, true
-			}
-			if e.Kind == trace.KindClose {
-				delete(openUser, e.OpenID)
-			}
-		}
-		if hasUser {
-			usersSeen[user] = true
-			longAcc.active(e.Time, user)
-			shortAcc.active(e.Time, user)
-		}
-
-		// Lifetime state machine (Figure 4): births at create and
-		// truncate-to-zero, deaths at unlink, overwrite, and truncation.
-		switch e.Kind {
-		case trace.KindCreate:
-			die(e.File, e.Time) // overwrite of previous incarnation
-			lives[e.File] = &lifeState{birth: e.Time}
+	// Lifetime state machine (Figure 4): births at create and
+	// truncate-to-zero, deaths at unlink, overwrite, and truncation.
+	switch e.Kind {
+	case trace.KindCreate:
+		s.die(e.File, e.Time) // overwrite of previous incarnation
+		s.lives[e.File] = &lifeState{birth: e.Time}
+		an.Lifetimes.NewFiles++
+	case trace.KindTruncate:
+		if e.Size == 0 {
+			s.die(e.File, e.Time)
+			s.lives[e.File] = &lifeState{birth: e.Time}
 			an.Lifetimes.NewFiles++
-		case trace.KindTruncate:
-			if e.Size == 0 {
-				die(e.File, e.Time)
-				lives[e.File] = &lifeState{birth: e.Time}
-				an.Lifetimes.NewFiles++
-			}
-		case trace.KindUnlink:
-			die(e.File, e.Time)
 		}
-
-		sc.Feed(e)
+	case trace.KindUnlink:
+		s.die(e.File, e.Time)
 	}
-	an.Overall.UnclosedOpens = sc.Finish()
-	if err := enc.Flush(); err == nil {
-		an.Overall.EncodedSize = counter.n
+
+	s.sc.Feed(e)
+}
+
+// Finish completes the analysis and returns it. Further Feed calls after
+// Finish are invalid; calling Finish again returns the same Analysis.
+func (s *Stream) Finish() *Analysis {
+	if s.finished {
+		return s.an
+	}
+	s.finished = true
+	an := s.an
+	an.Overall.UnclosedOpens = s.sc.Finish()
+	if err := s.enc.Flush(); err == nil {
+		an.Overall.EncodedSize = s.counter.n
 	}
 
 	// Censor survivors into the top bucket so the by-files and by-bytes
 	// CDFs are normalized over all new files, as Figure 4 is.
 	const censored = 1e18
-	for _, st := range lives {
-		lifeFiles.Add(censored, 1)
-		lifeBytes.Add(censored, float64(st.bytes))
+	for _, st := range s.lives {
+		s.lifeFiles.Add(censored, 1)
+		s.lifeBytes.Add(censored, float64(st.bytes))
 	}
 
-	longAcc.finish()
-	shortAcc.finish()
-	an.Activity.Long = longAcc.row
-	an.Activity.Short = shortAcc.row
-	an.Activity.TotalUsers = len(usersSeen)
+	s.longAcc.finish()
+	s.shortAcc.finish()
+	an.Activity.Long = s.longAcc.row
+	an.Activity.Short = s.shortAcc.row
+	an.Activity.TotalUsers = len(s.usersSeen)
 	if an.Overall.Duration > 0 {
 		an.Activity.AvgThroughput = float64(an.Overall.BytesTransferred) / an.Overall.Duration.Seconds()
 	}
 
-	for _, sh := range shares {
+	for _, sh := range s.shares {
 		an.Sharing.FilesAccessed++
 		an.Sharing.AccessesTotal += sh.accesses
 		if sh.users > 1 {
@@ -477,30 +534,47 @@ func Analyze(events []trace.Event, opts Options) *Analysis {
 		}
 	}
 
-	an.RunLengthsByRuns = runLenRuns.CDF()
-	an.RunLengthsByBytes = runLenBytes.CDF()
-	an.FileSizesByFiles = sizeFiles.CDF()
-	an.FileSizesByBytes = sizeBytes.CDF()
-	an.OpenTimes = openTimes.CDF()
-	an.Lifetimes.ByFiles = lifeFiles.CDF()
-	an.Lifetimes.ByBytes = lifeBytes.CDF()
-	an.EventIntervals = gaps.CDF()
+	an.RunLengthsByRuns = s.runLenRuns.CDF()
+	an.RunLengthsByBytes = s.runLenBytes.CDF()
+	an.FileSizesByFiles = s.sizeFiles.CDF()
+	an.FileSizesByBytes = s.sizeBytes.CDF()
+	an.OpenTimes = s.openTimes.CDF()
+	an.Lifetimes.ByFiles = s.lifeFiles.CDF()
+	an.Lifetimes.ByBytes = s.lifeBytes.CDF()
+	an.EventIntervals = s.gaps.CDF()
 	return an
 }
 
-// AnalyzeReader decodes a binary trace stream to completion and analyzes
-// it. It is the entry point the command-line tools use on trace files.
-func AnalyzeReader(r *trace.Reader, opts Options) (*Analysis, error) {
-	var events []trace.Event
+// Analyze runs the full Section-5 analysis over a time-ordered trace.
+func Analyze(events []trace.Event, opts Options) *Analysis {
+	s := NewStream(opts)
+	for _, e := range events {
+		s.Feed(e)
+	}
+	return s.Finish()
+}
+
+// AnalyzeSource pulls a time-ordered event stream to completion and
+// analyzes it, one event at a time: the source's trace never needs to fit
+// in memory. It is the entry point the command-line tools use on trace
+// files (*trace.Reader is a Source) and merged shard streams.
+func AnalyzeSource(src trace.Source, opts Options) (*Analysis, error) {
+	s := NewStream(opts)
 	for {
-		e, err := r.Next()
+		e, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		events = append(events, e)
+		s.Feed(e)
 	}
-	return Analyze(events, opts), nil
+	return s.Finish(), nil
+}
+
+// AnalyzeReader analyzes a binary trace stream. It is AnalyzeSource under
+// its historical name.
+func AnalyzeReader(r *trace.Reader, opts Options) (*Analysis, error) {
+	return AnalyzeSource(r, opts)
 }

@@ -30,60 +30,75 @@ type FileStat struct {
 // Accesses returns opens plus execs.
 func (f *FileStat) Accesses() int64 { return f.Opens + f.Execs }
 
-// TopFiles returns per-file statistics for the n most-accessed files
+// TopAccum accumulates per-file statistics one event at a time; its state
+// is bounded by the number of distinct files, never the event count. Feed
+// events in time order, then call Top.
+type TopAccum struct {
+	m  map[trace.FileID]*topAcc
+	sc *xfer.Scanner
+}
+
+type topAcc struct {
+	stat  FileStat
+	first trace.UserID
+}
+
+// NewTopAccum creates an empty accumulator.
+func NewTopAccum() *TopAccum {
+	a := &TopAccum{m: make(map[trace.FileID]*topAcc), sc: xfer.NewScanner()}
+	a.sc.OnTransfer = func(t xfer.Transfer) {
+		a.get(t.File).stat.Bytes += t.Length
+	}
+	a.sc.OnOpenEnd = func(o xfer.OpenSummary) {
+		a.get(o.File).stat.LastSize = o.SizeAtClose
+	}
+	return a
+}
+
+func (a *TopAccum) get(f trace.FileID) *topAcc {
+	t := a.m[f]
+	if t == nil {
+		t = &topAcc{stat: FileStat{File: f}}
+		a.m[f] = t
+	}
+	return t
+}
+
+func (a *TopAccum) seen(t *topAcc, u trace.UserID) {
+	switch {
+	case t.stat.Users == 0:
+		t.stat.Users = 1
+		t.first = u
+	case t.stat.Users == 1 && u != t.first:
+		t.stat.Users = 2
+	}
+}
+
+// Feed tallies one event. Events must arrive in time order.
+func (a *TopAccum) Feed(e trace.Event) {
+	switch e.Kind {
+	case trace.KindCreate, trace.KindOpen:
+		t := a.get(e.File)
+		t.stat.Opens++
+		a.seen(t, e.User)
+	case trace.KindExec:
+		t := a.get(e.File)
+		t.stat.Execs++
+		a.seen(t, e.User)
+		if e.Size > t.stat.LastSize {
+			t.stat.LastSize = e.Size
+		}
+	}
+	a.sc.Feed(e)
+}
+
+// Top finishes the accumulation and returns the n most-accessed files
 // (opens + execs), ties broken by bytes then id for determinism.
-func TopFiles(events []trace.Event, n int) []FileStat {
-	type acc struct {
-		stat  FileStat
-		first trace.UserID
-	}
-	m := make(map[trace.FileID]*acc)
-	get := func(f trace.FileID) *acc {
-		a := m[f]
-		if a == nil {
-			a = &acc{stat: FileStat{File: f}}
-			m[f] = a
-		}
-		return a
-	}
-	seen := func(a *acc, u trace.UserID) {
-		switch {
-		case a.stat.Users == 0:
-			a.stat.Users = 1
-			a.first = u
-		case a.stat.Users == 1 && u != a.first:
-			a.stat.Users = 2
-		}
-	}
-
-	sc := xfer.NewScanner()
-	sc.OnTransfer = func(t xfer.Transfer) {
-		get(t.File).stat.Bytes += t.Length
-	}
-	sc.OnOpenEnd = func(o xfer.OpenSummary) {
-		get(o.File).stat.LastSize = o.SizeAtClose
-	}
-	for _, e := range events {
-		switch e.Kind {
-		case trace.KindCreate, trace.KindOpen:
-			a := get(e.File)
-			a.stat.Opens++
-			seen(a, e.User)
-		case trace.KindExec:
-			a := get(e.File)
-			a.stat.Execs++
-			seen(a, e.User)
-			if e.Size > a.stat.LastSize {
-				a.stat.LastSize = e.Size
-			}
-		}
-		sc.Feed(e)
-	}
-	sc.Finish()
-
-	out := make([]FileStat, 0, len(m))
-	for _, a := range m {
-		out = append(out, a.stat)
+func (a *TopAccum) Top(n int) []FileStat {
+	a.sc.Finish()
+	out := make([]FileStat, 0, len(a.m))
+	for _, t := range a.m {
+		out = append(out, t.stat)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Accesses() != out[j].Accesses() {
@@ -98,4 +113,14 @@ func TopFiles(events []trace.Event, n int) []FileStat {
 		out = out[:n]
 	}
 	return out
+}
+
+// TopFiles returns per-file statistics for the n most-accessed files of
+// an in-memory trace. It is a TopAccum fed from a slice.
+func TopFiles(events []trace.Event, n int) []FileStat {
+	a := NewTopAccum()
+	for _, e := range events {
+		a.Feed(e)
+	}
+	return a.Top(n)
 }

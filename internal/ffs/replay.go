@@ -2,6 +2,7 @@ package ffs
 
 import (
 	"fmt"
+	"io"
 
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/xfer"
@@ -45,7 +46,7 @@ type popOp struct {
 // derives, at first sight (pre-existing files, at their size-at-open),
 // and on truncate; unlinks free them. Closes that leave a file's size
 // unchanged emit nothing.
-func populationOps(events []trace.Event) ([]popOp, error) {
+func populationOps(src trace.Source) ([]popOp, error) {
 	var ops []popOp
 	sizes := make(map[trace.FileID]int64)
 	place := func(id trace.FileID, size int64) {
@@ -59,7 +60,14 @@ func populationOps(events []trace.Event) ([]popOp, error) {
 		}
 		place(o.File, o.SizeAtClose)
 	}
-	for _, e := range events {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 		switch e.Kind {
 		case trace.KindOpen:
 			// First sight of a pre-existing file: allocate it.
@@ -123,7 +131,7 @@ func replayPop(ops []popOp, geo Geometry) (*ReplayResult, error) {
 // Replay runs a trace's file population against a fresh disk with the
 // given geometry.
 func Replay(events []trace.Event, geo Geometry) (*ReplayResult, error) {
-	ops, err := populationOps(events)
+	ops, err := populationOps(trace.NewSliceSource(events))
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +152,18 @@ type WasteSweepRow struct {
 	DataBytes   int64
 }
 
-// WasteSweep runs the §6.3 experiment. The population history is
-// geometry-independent, so it is extracted from the trace once and
-// replayed against each of the sweep's disks.
+// WasteSweep runs the §6.3 experiment over an in-memory trace. It is
+// WasteSweepSource over a slice.
 func WasteSweep(events []trace.Event, blockSizes []int64) ([]WasteSweepRow, error) {
-	ops, err := populationOps(events)
+	return WasteSweepSource(trace.NewSliceSource(events), blockSizes)
+}
+
+// WasteSweepSource runs the §6.3 experiment over an event stream. The
+// population history is geometry-independent, so it is extracted from the
+// stream once — one pass, no event materialization — and replayed against
+// each of the sweep's disks.
+func WasteSweepSource(src trace.Source, blockSizes []int64) ([]WasteSweepRow, error) {
+	ops, err := populationOps(src)
 	if err != nil {
 		return nil, err
 	}

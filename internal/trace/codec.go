@@ -240,7 +240,11 @@ func (r *Reader) varint() (int64, error) { return binary.ReadVarint(r.r) }
 
 func (r *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
 
-// ReadAll decodes the remainder of the stream into memory.
+// ReadAll decodes the remainder of the stream — everything not yet
+// consumed by Next — into one in-memory slice. It exists for tests and
+// small traces; scale-sensitive consumers should instead pull events one
+// at a time through Next (a Reader is a Source) so the trace never has to
+// fit in memory. See analyzer.AnalyzeSource and xfer.BuildTape.
 func (r *Reader) ReadAll() ([]Event, error) {
 	var out []Event
 	for {

@@ -1,17 +1,127 @@
 package trace
 
-import "container/heap"
+import (
+	"container/heap"
+	"io"
+)
+
+// RemapIDs renames the identifiers of an event from source s of n merged
+// sources so events from different sources can never collide: identifier
+// i becomes i*n+s, which is collision-free and preserves uniqueness
+// within each source. Users on different machines are distinct people and
+// stay distinct. Both the in-memory Merge and the streaming MergeSource
+// apply exactly this remapping, and the sharded workload generator merges
+// its shard streams through MergeSource, so a sharded fleet and a merged
+// multi-machine trace follow one identifier contract.
+func RemapIDs(e Event, n, s int) Event {
+	if e.OpenID != 0 || e.Kind == KindCreate || e.Kind == KindOpen || e.Kind == KindClose || e.Kind == KindSeek {
+		e.OpenID = e.OpenID*OpenID(n) + OpenID(s)
+	}
+	if e.File != 0 {
+		e.File = e.File*FileID(n) + FileID(s)
+	}
+	e.User = e.User*UserID(n) + UserID(s)
+	return e
+}
+
+// MergeSource interleaves several time-ordered Sources into one
+// time-ordered stream with identifier remapping (see RemapIDs). It holds
+// exactly one buffered event per live source — memory is O(sources), not
+// O(events) — which is what lets a fleet of generated shards or a set of
+// on-disk machine traces merge without ever materializing.
+//
+// Each source must itself be in non-decreasing time order (as every trace
+// this repository produces is); ties across sources preserve source
+// order, so the merged order is a pure function of the source streams and
+// never of scheduling.
+type MergeSource struct {
+	n       int
+	pending []mergeItem // sources not yet loaded into the heap
+	items   []mergeItem // min-heap on (head.Time, source index)
+	err     error
+}
+
+type mergeItem struct {
+	head   Event
+	src    Source
+	source int
+}
+
+// NewMergeSource creates a merged stream over the sources. It models the
+// scenario that motivated the paper: several machines' workloads
+// converging on one shared file server.
+func NewMergeSource(sources ...Source) *MergeSource {
+	m := &MergeSource{n: len(sources)}
+	for s, src := range sources {
+		m.pending = append(m.pending, mergeItem{src: src, source: s})
+	}
+	return m
+}
+
+// Next returns the earliest pending event across all sources, remapped,
+// or io.EOF when every source is drained. A source error ends the stream
+// and is returned from every subsequent call.
+func (m *MergeSource) Next() (Event, error) {
+	if m.err != nil {
+		return Event{}, m.err
+	}
+	if m.pending != nil {
+		// First call: prime one event from each source.
+		for _, it := range m.pending {
+			e, err := it.src.Next()
+			if err == io.EOF {
+				continue
+			}
+			if err != nil {
+				m.err = err
+				return Event{}, err
+			}
+			it.head = e
+			m.items = append(m.items, it)
+		}
+		m.pending = nil
+		heap.Init(m)
+	}
+	if len(m.items) == 0 {
+		return Event{}, io.EOF
+	}
+	it := &m.items[0]
+	out := RemapIDs(it.head, m.n, it.source)
+	e, err := it.src.Next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(m)
+	case err != nil:
+		m.err = err
+		return Event{}, err
+	default:
+		it.head = e
+		heap.Fix(m, 0)
+	}
+	return out, nil
+}
+
+func (m *MergeSource) Len() int { return len(m.items) }
+func (m *MergeSource) Less(i, j int) bool {
+	a, b := &m.items[i], &m.items[j]
+	if a.head.Time != b.head.Time {
+		return a.head.Time < b.head.Time
+	}
+	return a.source < b.source
+}
+func (m *MergeSource) Swap(i, j int) { m.items[i], m.items[j] = m.items[j], m.items[i] }
+func (m *MergeSource) Push(x any)    { m.items = append(m.items, x.(mergeItem)) }
+func (m *MergeSource) Pop() any {
+	old := m.items
+	it := old[len(old)-1]
+	m.items = old[:len(old)-1]
+	return it
+}
 
 // Merge interleaves several time-ordered traces into one, remapping file,
 // open, and user identifiers so events from different sources can never
-// collide. It models the scenario that motivated the paper: several
-// machines' workloads converging on one shared file server. Identifier i
-// from source s becomes i*len(sources)+s, which is collision-free and
-// preserves uniqueness within each source; users on different machines
-// are distinct people and stay distinct.
-//
-// Each source must itself be in non-decreasing time order (as every trace
-// this repository produces is); ties across sources preserve source order.
+// collide (see RemapIDs). It is the in-memory convenience over
+// MergeSource; large traces should merge Sources directly.
 func Merge(sources ...[]Event) []Event {
 	n := len(sources)
 	if n == 0 {
@@ -22,67 +132,19 @@ func Merge(sources ...[]Event) []Event {
 		copy(out, sources[0])
 		return out
 	}
-	remap := func(e Event, s int) Event {
-		if e.OpenID != 0 || e.Kind == KindCreate || e.Kind == KindOpen || e.Kind == KindClose || e.Kind == KindSeek {
-			e.OpenID = e.OpenID*OpenID(n) + OpenID(s)
-		}
-		if e.File != 0 {
-			e.File = e.File*FileID(n) + FileID(s)
-		}
-		e.User = e.User*UserID(n) + UserID(s)
-		return e
-	}
-
 	total := 0
-	for _, src := range sources {
+	ss := make([]Source, n)
+	for i, src := range sources {
 		total += len(src)
+		ss[i] = NewSliceSource(src)
 	}
 	out := make([]Event, 0, total)
-
-	h := &mergeHeap{}
-	for s, src := range sources {
-		if len(src) > 0 {
-			h.items = append(h.items, mergeItem{events: src, source: s})
+	m := NewMergeSource(ss...)
+	for {
+		e, err := m.Next()
+		if err != nil { // slice sources only ever return io.EOF
+			return out
 		}
+		out = append(out, e)
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		it := &h.items[0]
-		out = append(out, remap(it.events[it.pos], it.source))
-		it.pos++
-		if it.pos == len(it.events) {
-			heap.Pop(h)
-		} else {
-			heap.Fix(h, 0)
-		}
-	}
-	return out
-}
-
-type mergeItem struct {
-	events []Event
-	pos    int
-	source int
-}
-
-type mergeHeap struct {
-	items []mergeItem
-}
-
-func (h *mergeHeap) Len() int { return len(h.items) }
-func (h *mergeHeap) Less(i, j int) bool {
-	a, b := &h.items[i], &h.items[j]
-	ta, tb := a.events[a.pos].Time, b.events[b.pos].Time
-	if ta != tb {
-		return ta < tb
-	}
-	return a.source < b.source
-}
-func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := h.items
-	it := old[len(old)-1]
-	h.items = old[:len(old)-1]
-	return it
 }

@@ -1,0 +1,122 @@
+package trace
+
+import "io"
+
+// Source is a pull-stream of events in non-decreasing time order. Next
+// returns io.EOF at a clean end of stream. *Reader satisfies Source, so
+// any binary trace file can be consumed as a stream, and MergeSource
+// combines several Sources into one without materializing any of them.
+//
+// Source is the seam between the streaming halves of the repository: the
+// workload generator emits shard streams, MergeSource interleaves them,
+// and the analyzer and tape builder consume the merged stream one event
+// at a time, so no stage ever needs the whole trace in memory.
+type Source interface {
+	Next() (Event, error)
+}
+
+// Compile-time check: a binary trace reader is a Source.
+var _ Source = (*Reader)(nil)
+
+// SliceSource adapts an in-memory event slice to a Source. It never
+// returns an error other than io.EOF.
+type SliceSource struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceSource returns a Source that yields events in order.
+func NewSliceSource(events []Event) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Next returns the next event or io.EOF.
+func (s *SliceSource) Next() (Event, error) {
+	if s.pos >= len(s.events) {
+		return Event{}, io.EOF
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// ReadSource drains a Source into memory. It is the streaming analogue of
+// Reader.ReadAll; tests and the in-memory Merge use it.
+func ReadSource(src Source) ([]Event, error) {
+	var out []Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// CopySource writes every event of src to w and returns the number of
+// events copied. It is the constant-memory pipe from any Source to a
+// binary trace file.
+func CopySource(w *Writer, src Source) (int64, error) {
+	var n int64
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// FuncSource adapts a Next-shaped function to a Source.
+type FuncSource func() (Event, error)
+
+// Next calls the function.
+func (f FuncSource) Next() (Event, error) { return f() }
+
+// WindowSource yields the sub-trace of src in [from, to), applying the
+// same fix-ups as Window: seeks and closes whose open fell before the
+// window are dropped, and times are rebased so the window starts at zero.
+// It holds only the set of opens seen inside the window, not the events.
+func WindowSource(src Source, from, to Time) Source {
+	open := make(map[OpenID]bool)
+	return FuncSource(func() (Event, error) {
+		for {
+			e, err := src.Next()
+			if err != nil {
+				return Event{}, err
+			}
+			if e.Time < from {
+				continue
+			}
+			if e.Time >= to {
+				// Sources are time-ordered: nothing after this point
+				// can fall inside the window.
+				return Event{}, io.EOF
+			}
+			switch e.Kind {
+			case KindCreate, KindOpen:
+				open[e.OpenID] = true
+			case KindClose:
+				if !open[e.OpenID] {
+					continue // opened before the window
+				}
+				delete(open, e.OpenID)
+			case KindSeek:
+				if !open[e.OpenID] {
+					continue
+				}
+			}
+			e.Time -= from
+			return e, nil
+		}
+	})
+}

@@ -13,27 +13,6 @@ func Window(events []Event, from, to Time) []Event {
 	if to <= from {
 		return nil
 	}
-	var out []Event
-	open := make(map[OpenID]bool)
-	for _, e := range events {
-		if e.Time < from || e.Time >= to {
-			continue
-		}
-		switch e.Kind {
-		case KindCreate, KindOpen:
-			open[e.OpenID] = true
-		case KindClose:
-			if !open[e.OpenID] {
-				continue // opened before the window
-			}
-			delete(open, e.OpenID)
-		case KindSeek:
-			if !open[e.OpenID] {
-				continue
-			}
-		}
-		e.Time -= from
-		out = append(out, e)
-	}
+	out, _ := ReadSource(WindowSource(NewSliceSource(events), from, to))
 	return out
 }

@@ -47,6 +47,17 @@ type Config struct {
 	Duration trace.Time
 	// UserScale multiplies the profile's user population (default 1.0).
 	UserScale float64
+	// Shards splits the (scaled) user population into this many
+	// independent shards, each a disjoint sub-population on its own
+	// kernel and file system — a fleet of machines rather than one.
+	// Shards generate concurrently on all cores and their streams merge
+	// into one time-ordered trace with identifier remapping (see
+	// trace.MergeSource). 0 or 1 means a single machine, and is
+	// byte-identical to what this package generated before sharding
+	// existed. The output is a pure function of (Config, Shards): the
+	// same seed and shard count always yield the same merged trace,
+	// regardless of GOMAXPROCS or scheduling.
+	Shards int
 	// Meta, if non-nil, observes the kernel's metadata activity
 	// (pathname resolutions, i-node and directory updates) during
 	// generation; see kernel.MetaHook and the namei package.
@@ -73,6 +84,9 @@ func (c *Config) fill() error {
 	}
 	if c.UserScale <= 0 {
 		c.UserScale = 1.0
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("workload: negative shard count %d", c.Shards)
 	}
 	return nil
 }
@@ -143,11 +157,9 @@ type Result struct {
 	StaticSizes []int64
 }
 
-// Generate produces a synthetic trace for the given configuration.
-func Generate(cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
+// scaledProfile returns the named profile with its user population
+// multiplied by cfg.UserScale. Each nonzero class keeps at least one user.
+func scaledProfile(cfg Config) Profile {
 	prof := profiles[cfg.Profile]
 	scale := func(n int) int {
 		s := int(float64(n)*cfg.UserScale + 0.5)
@@ -159,7 +171,60 @@ func Generate(cfg Config) (*Result, error) {
 	prof.Developers = scale(prof.Developers)
 	prof.Office = scale(prof.Office)
 	prof.CAD = scale(prof.CAD)
+	return prof
+}
 
+// Generate produces a synthetic trace for the given configuration,
+// materialized in memory. It is GenerateStream collecting into a slice;
+// scale-sensitive callers should use GenerateStream and consume events as
+// they are emitted instead.
+func Generate(cfg Config) (*Result, error) {
+	var events []trace.Event
+	res, err := GenerateStream(cfg, func(e trace.Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Events = events
+	return res, nil
+}
+
+// Sink consumes generated events in non-decreasing time order. A sink
+// error aborts emission and is returned from GenerateStream.
+type Sink func(trace.Event) error
+
+// GenerateStream produces a synthetic trace, delivering every event to
+// sink in time order instead of materializing the trace. A nil sink
+// discards the events (useful when only Result bookkeeping — kernel
+// stats, the static size scan, an attached Meta hook — is wanted). The
+// returned Result has a nil Events field.
+//
+// With cfg.Shards > 1 the population generates as that many concurrent
+// independent shards whose streams merge (with identifier remapping)
+// before reaching the sink; memory stays bounded by the per-shard channel
+// buffers no matter how long the trace runs.
+func GenerateStream(cfg Config, sink Sink) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return generateSharded(cfg, sink)
+	}
+	return generateProfile(cfg, scaledProfile(cfg), sink)
+}
+
+// generateProfile runs one machine: the full event-driven simulation of
+// prof's population against one kernel and file system.
+func generateProfile(cfg Config, prof Profile, sink Sink) (*Result, error) {
+	var sinkErr error
+	emit := func(e trace.Event) {
+		if sinkErr != nil || sink == nil {
+			return
+		}
+		sinkErr = sink(e)
+	}
 	g := &generator{
 		cfg:  cfg,
 		prof: prof,
@@ -167,7 +232,7 @@ func Generate(cfg Config) (*Result, error) {
 		src:  dist.NewSource(cfg.Seed),
 	}
 	fs := vfs.New()
-	g.k = kernel.New(fs, g.eng.Now, func(e trace.Event) { g.events = append(g.events, e) })
+	g.k = kernel.New(fs, g.eng.Now, emit)
 	if cfg.Meta != nil {
 		g.k.SetMeta(cfg.Meta)
 	}
@@ -175,6 +240,9 @@ func Generate(cfg Config) (*Result, error) {
 	g.startDaemons()
 	g.startUsers()
 	g.eng.Run(cfg.Duration)
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
 
 	var static []int64
 	fs.Walk(func(path string, n *vfs.Inode) {
@@ -183,18 +251,17 @@ func Generate(cfg Config) (*Result, error) {
 		}
 	})
 
-	return &Result{Events: g.events, Profile: prof, KernelStats: g.k.Stats, StaticSizes: static}, nil
+	return &Result{Profile: prof, KernelStats: g.k.Stats, StaticSizes: static}, nil
 }
 
 // generator holds the live state while a trace is being produced. Opens
 // still outstanding when the run's deadline arrives are simply left open,
 // as a live machine's trace also ends with a few files open.
 type generator struct {
-	cfg    Config
-	prof   Profile
-	eng    *sim.Engine
-	k      *kernel.Kernel
-	src    *dist.Source
-	events []trace.Event
-	img    image
+	cfg  Config
+	prof Profile
+	eng  *sim.Engine
+	k    *kernel.Kernel
+	src  *dist.Source
+	img  image
 }

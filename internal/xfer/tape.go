@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"io"
 	"sort"
 	"sync"
 
@@ -87,71 +88,132 @@ type Op struct {
 	Xfer int32
 }
 
+// TapeBuilder constructs a Tape incrementally from a time-ordered event
+// stream: Add each event as it arrives, then Finish. Its working state is
+// one Scanner plus a per-file size map — bounded by the live file
+// population, not the event count — so a tape can be built from a stream
+// that never fits in memory. NewTape is exactly a TapeBuilder fed from a
+// slice; the two produce identical tapes by construction.
+type TapeBuilder struct {
+	t     *Tape
+	sizes map[trace.FileID]int64
+	sc    *Scanner
+	done  bool
+}
+
+// NewTapeBuilder creates an empty builder.
+func NewTapeBuilder() *TapeBuilder {
+	b := &TapeBuilder{
+		t:     &Tape{},
+		sizes: make(map[trace.FileID]int64),
+		sc:    NewScanner(),
+	}
+	t := b.t
+	b.sc.OnTransfer = func(tr Transfer) {
+		t.Ops = append(t.Ops, Op{Kind: OpTransfer, Time: tr.Time, Xfer: int32(len(t.Transfers))})
+		t.Transfers = append(t.Transfers, tr)
+		old := b.sizes[tr.File]
+		t.OldSizes = append(t.OldSizes, old)
+		if tr.Write && tr.End() > old {
+			b.sizes[tr.File] = tr.End()
+		}
+	}
+	return b
+}
+
+// grow pre-sizes the tape for an expected event count. Ops is bounded by
+// one per event plus one per transfer; a seek-free trace produces roughly
+// one transfer per read/write pair, so half the event count is a close
+// capacity guess for both slices.
+func (b *TapeBuilder) grow(events int) {
+	b.t.Ops = make([]Op, 0, events)
+	b.t.Transfers = make([]Transfer, 0, events/2)
+	b.t.OldSizes = make([]int64, 0, events/2)
+}
+
+// Add appends one event's tape operations. Events must arrive in time
+// order.
+func (b *TapeBuilder) Add(e trace.Event) {
+	t := b.t
+	n := len(t.Ops)
+	switch e.Kind {
+	case trace.KindCreate:
+		// Overwrite: the file's previous blocks are dead.
+		t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
+		b.sizes[e.File] = 0
+	case trace.KindOpen:
+		b.sizes[e.File] = e.Size
+	case trace.KindTruncate:
+		t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File, Size: e.Size})
+		b.sizes[e.File] = e.Size
+	case trace.KindUnlink:
+		t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
+		delete(b.sizes, e.File)
+	case trace.KindExec:
+		if e.Size > 0 {
+			t.Ops = append(t.Ops, Op{Kind: OpExec, Time: e.Time, Xfer: int32(len(t.Transfers))})
+			t.Transfers = append(t.Transfers, Transfer{
+				Time: e.Time, Start: e.Time,
+				File: e.File, User: e.User,
+				Offset: 0, Length: e.Size,
+				Mode: trace.ReadOnly,
+			})
+			t.OldSizes = append(t.OldSizes, b.sizes[e.File])
+		}
+	}
+	b.sc.Feed(e)
+	if len(t.Ops) == n {
+		// The event produced nothing; keep its clock motion.
+		if n > 0 && t.Ops[n-1].Kind == OpAdvance {
+			t.Ops[n-1].Time = e.Time
+		} else {
+			t.Ops = append(t.Ops, Op{Kind: OpAdvance, Time: e.Time})
+		}
+	}
+}
+
+// Finish completes the tape. It returns the first malformed-stream
+// complaint as an error, exactly as scanning would. Add calls after
+// Finish are invalid; calling Finish again returns the same tape.
+func (b *TapeBuilder) Finish() (*Tape, error) {
+	if !b.done {
+		b.done = true
+		b.t.Unclosed = b.sc.Finish()
+	}
+	if errs := b.sc.Errs(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return b.t, nil
+}
+
 // NewTape reconstructs the transfer tape of a time-ordered trace. It
 // returns the first malformed-stream complaint as an error, exactly as
 // scanning would.
 func NewTape(events []trace.Event) (*Tape, error) {
-	// Ops is bounded by one per event plus one per transfer; a seek-free
-	// trace produces roughly one transfer per read/write pair, so half the
-	// event count is a close capacity guess for both slices.
-	t := &Tape{
-		Ops:       make([]Op, 0, len(events)),
-		Transfers: make([]Transfer, 0, len(events)/2),
-		OldSizes:  make([]int64, 0, len(events)/2),
-	}
-	sizes := make(map[trace.FileID]int64)
-	sc := NewScanner()
-	sc.OnTransfer = func(tr Transfer) {
-		t.Ops = append(t.Ops, Op{Kind: OpTransfer, Time: tr.Time, Xfer: int32(len(t.Transfers))})
-		t.Transfers = append(t.Transfers, tr)
-		old := sizes[tr.File]
-		t.OldSizes = append(t.OldSizes, old)
-		if tr.Write && tr.End() > old {
-			sizes[tr.File] = tr.End()
-		}
-	}
+	b := NewTapeBuilder()
+	b.grow(len(events))
 	for _, e := range events {
-		n := len(t.Ops)
-		switch e.Kind {
-		case trace.KindCreate:
-			// Overwrite: the file's previous blocks are dead.
-			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
-			sizes[e.File] = 0
-		case trace.KindOpen:
-			sizes[e.File] = e.Size
-		case trace.KindTruncate:
-			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File, Size: e.Size})
-			sizes[e.File] = e.Size
-		case trace.KindUnlink:
-			t.Ops = append(t.Ops, Op{Kind: OpPurge, Time: e.Time, File: e.File})
-			delete(sizes, e.File)
-		case trace.KindExec:
-			if e.Size > 0 {
-				t.Ops = append(t.Ops, Op{Kind: OpExec, Time: e.Time, Xfer: int32(len(t.Transfers))})
-				t.Transfers = append(t.Transfers, Transfer{
-					Time: e.Time, Start: e.Time,
-					File: e.File, User: e.User,
-					Offset: 0, Length: e.Size,
-					Mode: trace.ReadOnly,
-				})
-				t.OldSizes = append(t.OldSizes, sizes[e.File])
-			}
-		}
-		sc.Feed(e)
-		if len(t.Ops) == n {
-			// The event produced nothing; keep its clock motion.
-			if n > 0 && t.Ops[n-1].Kind == OpAdvance {
-				t.Ops[n-1].Time = e.Time
-			} else {
-				t.Ops = append(t.Ops, Op{Kind: OpAdvance, Time: e.Time})
-			}
-		}
+		b.Add(e)
 	}
-	t.Unclosed = sc.Finish()
-	if errs := sc.Errs(); len(errs) > 0 {
-		return nil, errs[0]
+	return b.Finish()
+}
+
+// BuildTape reconstructs the transfer tape of a time-ordered event
+// stream, pulling one event at a time: the source's trace never needs to
+// fit in memory (*trace.Reader is a Source, as is a merged shard stream).
+func BuildTape(src trace.Source) (*Tape, error) {
+	b := NewTapeBuilder()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Add(e)
 	}
-	return t, nil
+	return b.Finish()
 }
 
 // Truncate returns the tape's prefix up to and including time at: every

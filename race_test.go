@@ -1,0 +1,9 @@
+//go:build race
+
+package bsdtrace
+
+// raceEnabled reports whether the race detector is compiled in. The
+// memory-guard tests skip under -race: the detector's shadow-memory
+// instrumentation inflates heap allocation, so B/event thresholds
+// calibrated against the plain allocator are meaningless there.
+const raceEnabled = true
