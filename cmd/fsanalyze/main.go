@@ -35,6 +35,7 @@ type options struct {
 	only     string
 	validate bool
 	text     bool
+	lenient  bool
 	top      int
 	from, to time.Duration
 }
@@ -44,6 +45,7 @@ func main() {
 	flag.StringVar(&opts.only, "only", "", "print only one result: tableIII, tableIV, tableV, intervals, sharing, fig1..fig4")
 	flag.BoolVar(&opts.validate, "validate", false, "validate the trace(s) and exit")
 	flag.BoolVar(&opts.text, "text", false, "read the text trace format instead of binary")
+	flag.BoolVar(&opts.lenient, "lenient", false, "repair damaged traces and analyze what survives instead of failing on partial ingest")
 	flag.IntVar(&opts.top, "top", 0, "also list the N busiest files per trace")
 	flag.DurationVar(&opts.from, "from", 0, "analyze only events at or after this offset")
 	flag.DurationVar(&opts.to, "to", 0, "analyze only events before this offset (0 = end of trace)")
@@ -60,32 +62,34 @@ func main() {
 
 // open returns a stream over one trace file. Binary traces stream straight
 // off the file; the text format is line-oriented and small, so it is read
-// whole and replayed from memory.
-func open(path string, opts options) (trace.Source, io.Closer, error) {
+// whole and replayed from memory. The returned Reader is non-nil for
+// binary input, so the caller can check Skipped() after the stream ends.
+func open(path string, opts options) (trace.Source, *trace.Reader, io.Closer, error) {
 	var src trace.Source
+	var rdr *trace.Reader
 	var closer io.Closer
 	if opts.text {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		events, err := trace.ReadText(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		src = trace.NewSliceSource(events)
 	} else {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		r, err := trace.NewReader(f)
 		if err != nil {
 			f.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		src, closer = r, f
+		src, rdr, closer = r, r, f
 	}
 	if opts.from > 0 || opts.to > 0 {
 		to := trace.Time(math.MaxInt64)
@@ -94,14 +98,41 @@ func open(path string, opts options) (trace.Source, io.Closer, error) {
 		}
 		src = trace.WindowSource(src, trace.Time(opts.from.Milliseconds()), to)
 	}
-	return src, closer, nil
+	return src, rdr, closer, nil
+}
+
+// ingestDamage enforces the partial-ingest contract once a stream has
+// been consumed: a strict run fails on any skipped bytes (non-zero exit
+// from main), a lenient run reports the damage budget to stderr and
+// carries on with what survived.
+func ingestDamage(path string, rdr *trace.Reader, ls *trace.LenientSource, lenient bool) error {
+	var skip trace.SkipStats
+	if rdr != nil {
+		skip = rdr.Skipped()
+	}
+	if !lenient {
+		if !skip.Zero() {
+			return fmt.Errorf("%s: partial ingest (%v); rerun with -lenient to repair and continue", path, skip)
+		}
+		return nil
+	}
+	if ls == nil {
+		return nil
+	}
+	if trunc := ls.Truncated(); trunc != nil {
+		fmt.Fprintf(os.Stderr, "fsanalyze: %s: stream truncated at decode error: %v\n", path, trunc)
+	}
+	if st := ls.Stats(); !st.Zero() || !skip.Zero() {
+		fmt.Fprintf(os.Stderr, "fsanalyze: %s: degraded ingest: %v; repaired: %v\n", path, skip, st)
+	}
+	return nil
 }
 
 func run(w io.Writer, paths []string, opts options) error {
 	tr := report.Traces{}
 	var tops []*analyzer.TopAccum
 	for _, path := range paths {
-		src, closer, err := open(path, opts)
+		src, rdr, closer, err := open(path, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -124,12 +155,27 @@ func run(w io.Writer, paths []string, opts options) error {
 			for _, e := range v.Errs() {
 				fmt.Fprintf(w, "%s: %v\n", path, e)
 			}
+			if fb := v.FirstBad(); fb != nil {
+				fmt.Fprintf(w, "%s: first failing event: %s\n", path, fb)
+			}
+			c := v.Stats()
+			var kinds []string
+			for k := trace.KindCreate; int(k) <= trace.NumKinds; k++ {
+				kinds = append(kinds, fmt.Sprintf("%d %s", c.ByKind[k], k))
+			}
+			fmt.Fprintf(w, "%s: seen %s\n", path, strings.Join(kinds, ", "))
 			fmt.Fprintf(w, "%s: %d events, %d validation errors, %d unclosed opens\n",
 				path, n, len(v.Errs()), unclosed)
 			if closer != nil {
 				closer.Close()
 			}
 			continue
+		}
+
+		var ls *trace.LenientSource
+		if opts.lenient {
+			ls = trace.NewLenientSource(src)
+			src = ls
 		}
 
 		// One pass feeds the analyzer and, when asked for, the busiest-file
@@ -154,6 +200,9 @@ func run(w io.Writer, paths []string, opts options) error {
 		}
 		if closer != nil {
 			closer.Close()
+		}
+		if err := ingestDamage(path, rdr, ls, opts.lenient); err != nil {
+			return err
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		tr.Names = append(tr.Names, name)

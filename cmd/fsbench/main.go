@@ -1,6 +1,6 @@
 // Command fsbench measures the streaming scale engine's throughput and
 // writes a machine-readable benchmark record (BENCH_scale.json). For each
-// user-population scale it times the four stages of the streaming
+// user-population scale it times the five stages of the streaming
 // pipeline in isolation:
 //
 //   - generate: sharded workload generation (one shard per core),
@@ -8,7 +8,9 @@
 //   - merge: the k-way merge over 8 pre-split strands of the trace;
 //   - stream-analyze: the incremental Section-5 analyzer consuming the
 //     trace one event at a time;
-//   - tape-build: the incremental transfer-tape builder doing the same.
+//   - tape-build: the incremental transfer-tape builder doing the same;
+//   - recover: the self-healing repair pass (the -lenient ingestion
+//     tax) streaming the same trace.
 //
 // Each stage reports events/second, so regressions in any layer of the
 // pipeline show up as a drop in its own row rather than hiding in an
@@ -119,7 +121,7 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// benchScale times the four pipeline stages at one population scale.
+// benchScale times the five pipeline stages at one population scale.
 func benchScale(seed int64, duration trace.Time, scale float64, shards int) ([]stageResult, error) {
 	cfg := workload.Config{
 		Profile: "A5", Seed: seed, Duration: duration,
@@ -185,6 +187,19 @@ func benchScale(seed int64, duration trace.Time, scale float64, shards int) ([]s
 		return nil, err
 	}
 	results = append(results, row("tape-build", int64(len(events)), time.Since(start)))
+
+	// Stage 5: self-healing recovery pass over the same trace — the tax
+	// the -lenient ingestion path adds on top of a plain stream read.
+	var recovered int64
+	start = time.Now()
+	rec := trace.NewRecoverSource(trace.NewSliceSource(events))
+	for {
+		if _, err := rec.Next(); err != nil {
+			break
+		}
+		recovered++
+	}
+	results = append(results, row("recover", recovered, time.Since(start)))
 
 	return results, nil
 }

@@ -62,6 +62,7 @@ func main() {
 		sweep   = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, flush")
 		crashN  = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
 		crashAt = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
+		lenient = flag.Bool("lenient", false, "repair damaged traces and simulate what survives instead of failing on partial ingest")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -71,7 +72,7 @@ func main() {
 	// Reconstruct the transfer tape once, streaming the trace file event
 	// by event (the raw events are never materialized); every
 	// configuration below — single run or sweep — replays the same tape.
-	tape, err := buildTape(flag.Arg(0))
+	tape, err := buildTape(flag.Arg(0), *lenient)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
@@ -153,8 +154,10 @@ func main() {
 	fmt.Fprintf(w, "blocks resident > %v: %s\n", r.Config.ResidencyThreshold, report.Pct(r.ResidencyOver))
 }
 
-// buildTape streams a binary trace file into a transfer tape.
-func buildTape(path string) (*xfer.Tape, error) {
+// buildTape streams a binary trace file into a transfer tape. A strict
+// build fails on any damage; a lenient one repairs the stream first and
+// reports the budget to stderr.
+func buildTape(path string, lenient bool) (*xfer.Tape, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -164,9 +167,30 @@ func buildTape(path string) (*xfer.Tape, error) {
 	if err != nil {
 		return nil, err
 	}
-	tape, err := xfer.BuildTape(r)
+	var src trace.Source = r
+	var ls *trace.LenientSource
+	if lenient {
+		ls = trace.NewLenientSource(r)
+		src = ls
+	}
+	tape, err := xfer.BuildTape(src)
 	if err != nil {
+		if skip := r.Skipped(); !lenient && !skip.Zero() {
+			// The reader skipped damage and the orphaned events it left
+			// behind broke the tape build downstream.
+			return nil, fmt.Errorf("malformed trace after partial ingest (%v): %v; rerun with -lenient to repair and continue", skip, err)
+		}
 		return nil, fmt.Errorf("malformed trace: %w", err)
+	}
+	if skip := r.Skipped(); !lenient && !skip.Zero() {
+		return nil, fmt.Errorf("%s: partial ingest (%v); rerun with -lenient to repair and continue", path, skip)
+	} else if lenient {
+		if trunc := ls.Truncated(); trunc != nil {
+			fmt.Fprintf(os.Stderr, "fscachesim: %s: stream truncated at decode error: %v\n", path, trunc)
+		}
+		if st := ls.Stats(); !st.Zero() || !skip.Zero() {
+			fmt.Fprintf(os.Stderr, "fscachesim: %s: degraded ingest: %v; repaired: %v\n", path, skip, st)
+		}
 	}
 	return tape, nil
 }

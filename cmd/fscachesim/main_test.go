@@ -69,6 +69,63 @@ func TestRunSweeps(t *testing.T) {
 	}
 }
 
+// TestBuildTapeDamaged: the satellite exit-path contract at the tape
+// layer — strict builds fail on damage, lenient builds repair and finish.
+func TestBuildTapeDamaged(t *testing.T) {
+	res, err := workload.Generate(workload.Config{Profile: "A5", Seed: 6, Duration: 15 * trace.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := filepath.Join(t.TempDir(), "clean.trace")
+	if err := trace.WriteFile(clean, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildTape(clean, false); err != nil {
+		t.Fatalf("strict build failed on a clean trace: %v", err)
+	}
+
+	f, err := os.Create(filepath.Join(t.TempDir(), "damaged.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriterV2(f, 512)
+	for _, e := range res.Events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 3; i < len(data)/3+16; i++ {
+		data[i] ^= 0x55
+	}
+	if err := os.WriteFile(f.Name(), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := buildTape(f.Name(), false); err == nil {
+		t.Fatal("strict build accepted a damaged trace")
+	} else if !strings.Contains(err.Error(), "-lenient") {
+		t.Fatalf("strict error not actionable: %v", err)
+	}
+	tape, err := buildTape(f.Name(), true)
+	if err != nil {
+		t.Fatalf("lenient build failed: %v", err)
+	}
+	if _, err := cachesim.SimulateTape(tape, cachesim.Config{
+		BlockSize: 4096, CacheSize: 2 << 20, Write: cachesim.DelayedWrite,
+	}); err != nil {
+		t.Fatalf("simulation over repaired tape failed: %v", err)
+	}
+}
+
 func TestRunCrashSweepAndCrashAt(t *testing.T) {
 	res, err := workload.Generate(workload.Config{Profile: "A5", Seed: 8, Duration: 15 * trace.Minute})
 	if err != nil {

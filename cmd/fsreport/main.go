@@ -60,6 +60,7 @@ type reportConfig struct {
 	dataDir   string
 	scale     float64
 	shards    int
+	lenient   bool
 }
 
 func main() {
@@ -73,6 +74,8 @@ func main() {
 		outPath    = flag.String("o", "", "write the report to a file instead of stdout")
 		dataDir    = flag.String("data", "", "also write every table and figure as CSV files into this directory")
 		stability  = flag.Int("stability", 0, "instead of the report, run the headline metrics across N seeds and print mean ± sd")
+		degrade    = flag.Bool("degrade", false, "instead of the report, run the loss-sensitivity sweep: mangle the A5 trace at increasing loss rates and table the drift of the headline values")
+		lenient    = flag.Bool("lenient", false, "repair damaged traces and report what survives instead of failing on partial ingest")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -103,9 +106,12 @@ func main() {
 	}
 
 	var err error
-	if *stability > 0 {
+	switch {
+	case *stability > 0:
 		err = runStability(w, *duration, *seed, *stability)
-	} else {
+	case *degrade:
+		err = runDegrade(w, *duration, *seed)
+	default:
 		err = run(w, reportConfig{
 			duration:  *duration,
 			seed:      *seed,
@@ -114,6 +120,7 @@ func main() {
 			dataDir:   *dataDir,
 			scale:     *scale,
 			shards:    *shards,
+			lenient:   *lenient,
 		})
 	}
 
@@ -219,6 +226,38 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 	return r, f, nil
 }
 
+// ingest wraps a spill-file reader for one streaming pass: strict mode
+// returns the reader unchanged, lenient mode adds the self-healing
+// repair layer (trace.LenientSource) so damaged spills are repaired in
+// flight instead of aborting the report.
+func ingest(r *trace.Reader, lenient bool) (trace.Source, *trace.LenientSource) {
+	if !lenient {
+		return r, nil
+	}
+	ls := trace.NewLenientSource(r)
+	return ls, ls
+}
+
+// ingestDamage enforces the partial-ingest exit contract after a pass:
+// strict runs fail on any skipped bytes, lenient runs print the damage
+// budget to stderr and continue.
+func ingestDamage(what string, r *trace.Reader, ls *trace.LenientSource) error {
+	sk := r.Skipped()
+	if ls == nil {
+		if !sk.Zero() {
+			return fmt.Errorf("%s: partial ingest (%v); rerun with -lenient to repair and continue", what, sk)
+		}
+		return nil
+	}
+	if trunc := ls.Truncated(); trunc != nil {
+		fmt.Fprintf(os.Stderr, "fsreport: %s: stream truncated at decode error: %v\n", what, trunc)
+	}
+	if st := ls.Stats(); !sk.Zero() || !st.Zero() {
+		fmt.Fprintf(os.Stderr, "fsreport: %s: degraded ingest: %v; repaired: %v\n", what, sk, st)
+	}
+	return nil
+}
+
 // runStability regenerates the A5 workload with n different seeds on
 // parallel workers and reports the spread of the headline metrics: the
 // reproduction's shapes are properties of the workload model, not of one
@@ -299,6 +338,162 @@ func runStability(w io.Writer, duration time.Duration, baseSeed int64, n int) er
 	return t.Render(w)
 }
 
+// runDegrade is the loss-sensitivity sweep: how much trace damage can
+// the headline numbers absorb? The A5 trace is generated once into a
+// spill file; each sweep rate re-reads it through the fault-injecting
+// mangler (drop-only — silently discarded records, the damage mode a
+// real degraded tracer produces) and the self-healing recovery layer,
+// then re-runs the reference-pattern analyzer and the four Table VI
+// write-policy simulations. The table reports each headline value's
+// drift against the clean baseline, plus the repair budget the recovery
+// layer spent getting there. Rates run on parallel workers; results
+// land in rate-ordered slots, so the output is deterministic.
+func runDegrade(w io.Writer, duration time.Duration, seed int64) error {
+	rates := []float64{0, 0.0001, 0.001, 0.01, 0.05}
+	policies := cachesim.PaperPolicies()
+
+	spillDir, err := os.MkdirTemp("", "fsreport-degrade")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+	path := filepath.Join(spillDir, "a5.trace")
+	if _, err := generateSpill(workload.Config{
+		Profile: "A5", Seed: seed, Duration: trace.Time(duration.Milliseconds()),
+	}, path); err != nil {
+		return err
+	}
+
+	type degradeRow struct {
+		seq    float64 // sequential runs among read-only accesses (%)
+		whole  float64 // whole-file read accesses (%)
+		small  float64 // dynamic file sizes: files at or below 10 kbytes (%)
+		miss   []float64
+		mangle fault.MangleStats
+		repair trace.RepairStats
+	}
+	rows := make([]*degradeRow, len(rates))
+	if err := parallel(len(rates), func(i int) error {
+		r, f, err := openTrace(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var src trace.Source = r
+		var mg *fault.TraceMangler
+		if rates[i] > 0 {
+			// Per-rate seed: each rate damages different records, so the
+			// sweep measures the loss rate, not one unlucky pattern.
+			mg = fault.NewTraceMangler(src, fault.MangleConfig{
+				Seed: seed + int64(i), Drop: rates[i],
+			})
+			src = mg
+		}
+		rec := trace.NewRecoverSource(src)
+		s := analyzer.NewStream(analyzer.Options{})
+		tb := xfer.NewTapeBuilder()
+		for {
+			e, err := rec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			s.Feed(e)
+			tb.Add(e)
+		}
+		a := s.Finish()
+		tape, err := tb.Finish()
+		if err != nil {
+			return fmt.Errorf("rate %g: malformed trace after repair: %v", rates[i], err)
+		}
+		cfgs := make([]cachesim.Config, len(policies))
+		for j, p := range policies {
+			cfgs[j] = cachesim.Config{
+				BlockSize: 4096, CacheSize: 2 << 20,
+				Write: p.Write, FlushInterval: p.Interval,
+			}
+		}
+		rs, err := cachesim.MultiSimulate(tape, cfgs)
+		if err != nil {
+			return err
+		}
+		row := &degradeRow{
+			seq:    100 * a.Sequentiality.SequentialFraction(analyzer.ClassReadOnly),
+			whole:  100 * a.Sequentiality.WholeFileFraction(analyzer.ClassReadOnly),
+			small:  100 * a.FileSizesByFiles.FractionAtOrBelow(10 * 1024),
+			repair: rec.Stats(),
+		}
+		if mg != nil {
+			row.mangle = mg.Stats()
+		}
+		for _, r := range rs {
+			row.miss = append(row.miss, 100*r.MissRatio())
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	rateLabel := func(rate float64) string {
+		if rate == 0 {
+			return "clean"
+		}
+		return fmt.Sprintf("%g%%", 100*rate)
+	}
+	base := rows[0]
+	drift := func(v, b float64) string {
+		if v == b {
+			return fmt.Sprintf("%.2f", v)
+		}
+		return fmt.Sprintf("%.2f (%+.2f)", v, v-b)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Loss sensitivity: headline values vs. record-loss rate (%v A5 trace, repaired ingest).", duration),
+		Header: []string{"Loss rate", "Seq. runs RO (%)", "Whole-file RO (%)", "Files <=10KB (%)",
+			policies[0].Name + " miss (%)", policies[1].Name + " miss (%)",
+			policies[2].Name + " miss (%)", policies[3].Name + " miss (%)"},
+		Note: "Each row drops the given fraction of trace records uniformly at random, " +
+			"repairs the stream through the self-healing recovery layer, and re-runs the " +
+			"analysis and the four Table VI write policies (2-Mbyte cache, 4-kbyte blocks). " +
+			"Parenthesized deltas are drift against the clean baseline.",
+	}
+	for i, rate := range rates {
+		row := rows[i]
+		cells := []string{rateLabel(rate),
+			drift(row.seq, base.seq), drift(row.whole, base.whole), drift(row.small, base.small)}
+		for j := range policies {
+			cells = append(cells, drift(row.miss[j], base.miss[j]))
+		}
+		t.AddRow(cells...)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	bt := &report.Table{
+		Title:  "Repair budget per loss rate: what the recovery layer spent.",
+		Header: []string{"Loss rate", "Events in", "Lost by fault", "Dropped", "Synthesized", "Rewritten", "Est. bytes lost"},
+		Note: "\"Lost by fault\" is records the mangler silently discarded; the remaining " +
+			"columns are the recovery layer's repairs — orphaned handles dropped, missing " +
+			"closes synthesized, fields clamped — that keep the damaged stream valid.",
+	}
+	for i, rate := range rates {
+		row := rows[i]
+		bt.AddRow(rateLabel(rate),
+			report.Count(row.repair.Events),
+			report.Count(row.mangle.Dropped),
+			report.Count(row.repair.Dropped),
+			report.Count(row.repair.Synthesized),
+			report.Count(row.repair.Rewritten),
+			report.Size(row.repair.EstBytesLost))
+	}
+	return bt.Render(w)
+}
+
 func run(w io.Writer, cfg reportConfig) error {
 	want := func(name string) bool {
 		return cfg.only == "" || strings.EqualFold(cfg.only, name)
@@ -365,13 +560,14 @@ func run(w io.Writer, cfg reportConfig) error {
 			return err
 		}
 		defer f.Close()
+		src, ls := ingest(r, cfg.lenient)
 		s := analyzer.NewStream(analyzer.Options{})
 		var tb *xfer.TapeBuilder
 		if i == 0 && needTape {
 			tb = xfer.NewTapeBuilder()
 		}
 		for {
-			e, err := r.Next()
+			e, err := src.Next()
 			if err == io.EOF {
 				break
 			}
@@ -382,6 +578,9 @@ func run(w io.Writer, cfg reportConfig) error {
 			if tb != nil {
 				tb.Add(e)
 			}
+		}
+		if err := ingestDamage(names[i]+" analysis", r, ls); err != nil {
+			return err
 		}
 		analyses[i] = s.Finish()
 		if tb != nil {
@@ -509,7 +708,7 @@ func run(w io.Writer, cfg reportConfig) error {
 		}
 	}
 	if want("fragmentation") {
-		if err := runFragmentation(w, paths[0]); err != nil {
+		if err := runFragmentation(w, paths[0], cfg.lenient); err != nil {
 			return err
 		}
 	}
@@ -530,16 +729,20 @@ func run(w io.Writer, cfg reportConfig) error {
 				return err
 			}
 			defer f.Close()
-			if machineTapes[i], err = xfer.BuildTape(r); err != nil {
+			src, ls := ingest(r, cfg.lenient)
+			if machineTapes[i], err = xfer.BuildTape(src); err != nil {
+				if sk := r.Skipped(); !cfg.lenient && !sk.Zero() {
+					return fmt.Errorf("%s tape: malformed trace after partial ingest (%v): %v; rerun with -lenient to repair and continue", names[i], sk, err)
+				}
 				return fmt.Errorf("cachesim: malformed trace: %v", err)
 			}
-			return nil
+			return ingestDamage(names[i]+" tape", r, ls)
 		}); err != nil {
 			return err
 		}
 	}
 	if want("server") {
-		if err := runServer(w, names, paths, machineTapes); err != nil {
+		if err := runServer(w, names, paths, machineTapes, cfg.lenient); err != nil {
 			return err
 		}
 	}
@@ -626,14 +829,18 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, scale float64,
 // runFragmentation quantifies the paper's §6.3 remark: large blocks waste
 // disk space on small files, and FFS fragments recover it. The file
 // population is extracted in one streaming pass over the spill file.
-func runFragmentation(w io.Writer, path string) error {
+func runFragmentation(w io.Writer, path string, lenient bool) error {
 	r, f, err := openTrace(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	rows, err := ffs.WasteSweepSource(r, []int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
+	src, ls := ingest(r, lenient)
+	rows, err := ffs.WasteSweepSource(src, []int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
 	if err != nil {
+		return err
+	}
+	if err := ingestDamage("fragmentation", r, ls); err != nil {
 		return err
 	}
 	t := &report.Table{
@@ -657,7 +864,7 @@ func runFragmentation(w io.Writer, path string) error {
 // different moments — is the shared cache's advantage. The merged trace
 // is never materialized: a k-way merge over the three spill-file readers
 // feeds the tape builder directly.
-func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape) error {
+func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, lenient bool) error {
 	const blockSize = 4096
 	perMachine := int64(2 << 20)
 
@@ -689,6 +896,7 @@ func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape) 
 			return nil
 		}
 		sources := make([]trace.Source, len(paths))
+		readers := make([]*trace.Reader, len(paths))
 		for j, path := range paths {
 			r, f, err := openTrace(path)
 			if err != nil {
@@ -696,10 +904,35 @@ func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape) 
 			}
 			defer f.Close()
 			sources[j] = r
+			readers[j] = r
 		}
-		mergedTape, err := xfer.BuildTape(trace.NewMergeSource(sources...))
+		var merged trace.Source = trace.NewMergeSource(sources...)
+		var mls *trace.LenientSource
+		if lenient {
+			mls = trace.NewLenientSource(merged)
+			merged = mls
+		}
+		mergedTape, err := xfer.BuildTape(merged)
 		if err != nil {
 			return fmt.Errorf("cachesim: malformed trace: %v", err)
+		}
+		for j, rr := range readers {
+			sk := rr.Skipped()
+			if sk.Zero() {
+				continue
+			}
+			if !lenient {
+				return fmt.Errorf("server merge %s: partial ingest (%v); rerun with -lenient to repair and continue", names[j], sk)
+			}
+			fmt.Fprintf(os.Stderr, "fsreport: server merge %s: degraded ingest: %v\n", names[j], sk)
+		}
+		if mls != nil {
+			if trunc := mls.Truncated(); trunc != nil {
+				fmt.Fprintf(os.Stderr, "fsreport: server merge: stream truncated at decode error: %v\n", trunc)
+			}
+			if st := mls.Stats(); !st.Zero() {
+				fmt.Fprintf(os.Stderr, "fsreport: server merge: repaired: %v\n", st)
+			}
 		}
 		cfgs := make([]cachesim.Config, len(sharedSizes))
 		for j, cs := range sharedSizes {

@@ -90,6 +90,60 @@ func TestRunStability(t *testing.T) {
 	}
 }
 
+// TestRunDegrade exercises the loss-sensitivity sweep: both tables
+// render, the clean row carries a zero repair budget, and the lossy rows
+// show the mangler actually discarding records.
+func TestRunDegrade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runDegrade(&buf, 20*time.Minute, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Loss sensitivity", "Repair budget",
+		"clean", "0.01%", "0.1%", "1%", "5%",
+		"Write-Through", "Delayed Write",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degrade output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("degrade output contains NaN")
+	}
+	// The clean baseline row must show an untouched repair budget —
+	// the no-op guarantee surfacing in the report.
+	budget := out[strings.Index(out, "Repair budget"):]
+	for _, line := range strings.Split(budget, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] != "clean" {
+			continue
+		}
+		// clean | events-in | lost | dropped | synthesized | rewritten | bytes unit
+		for _, f := range fields[2:7] {
+			if f != "0" {
+				t.Errorf("clean repair-budget row not all-zero: %q", line)
+				break
+			}
+		}
+	}
+}
+
+// TestRunLenientFlagPassesClean: -lenient over undamaged spills is a
+// no-op — the report renders the same sections as strict mode.
+func TestRunLenientFlagPassesClean(t *testing.T) {
+	var strict, lenient bytes.Buffer
+	if err := run(&strict, reportConfig{duration: 10 * time.Minute, seed: 4, only: "tableIV"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&lenient, reportConfig{duration: 10 * time.Minute, seed: 4, only: "tableIV", lenient: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(strict.Bytes(), lenient.Bytes()) {
+		t.Errorf("-lenient changed the report over clean traces")
+	}
+}
+
 // TestRunReliability renders the crash-injection section alone and
 // checks the paper's qualitative ordering survives into the report:
 // write-through is never vulnerable, and every policy column renders.

@@ -79,6 +79,9 @@ func run(args []string, stdout io.Writer) error {
 		shards   = fs.Int("shards", 1, "generate the population as N concurrent shards (deterministic per seed+N)")
 		out      = fs.String("o", "trace.bin", "output file")
 		text     = fs.Bool("text", false, "write the text format instead of binary")
+		v2       = fs.Bool("v2", false, "write the checkpointed version-2 binary framing (damage-resilient)")
+		ckpt     = fs.Int("checkpoint", 0, "with -v2, records per resync checkpoint (0 = default)")
+		lenient  = fs.Bool("lenient", false, "repair damaged spill streams on the merge path instead of failing")
 		diurnal  = fs.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
 		quiet    = fs.Bool("q", false, "suppress the summary")
 	)
@@ -95,9 +98,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer f.Close()
 	w := &eventWriter{}
-	if *text {
+	switch {
+	case *text:
 		w.txt = bufio.NewWriterSize(f, 1<<16)
-	} else {
+	case *v2:
+		w.bin = trace.NewWriterV2(f, *ckpt)
+	default:
 		w.bin = trace.NewWriter(f)
 	}
 
@@ -147,9 +153,14 @@ func run(args []string, stdout io.Writer) error {
 			}
 			sources[i] = r
 		}
-		merge := trace.NewMergeSource(sources...)
+		var merged trace.Source = trace.NewMergeSource(sources...)
+		var ls *trace.LenientSource
+		if *lenient {
+			ls = trace.NewLenientSource(merged)
+			merged = ls
+		}
 		for {
-			e, err := merge.Next()
+			e, err := merged.Next()
 			if err == io.EOF {
 				break
 			}
@@ -158,6 +169,14 @@ func run(args []string, stdout io.Writer) error {
 			}
 			if err := w.write(e); err != nil {
 				return err
+			}
+		}
+		if ls != nil {
+			if trunc := ls.Truncated(); trunc != nil {
+				fmt.Fprintf(os.Stderr, "fstrace: merge truncated at decode error: %v\n", trunc)
+			}
+			if st := ls.Stats(); !st.Zero() {
+				fmt.Fprintf(os.Stderr, "fstrace: degraded merge: repaired: %v\n", st)
 			}
 		}
 	}

@@ -102,6 +102,47 @@ func TestRunTextMatchesBinary(t *testing.T) {
 	}
 }
 
+// The -v2 path: the checkpointed framing carries the same events as the
+// version-1 encoding, and the file really is version 2.
+func TestRunV2MatchesV1(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "t1.bin")
+	v2 := filepath.Join(dir, "t2.bin")
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "C4", "-duration", "5m", "-seed", "7", "-o", v1, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", "C4", "-duration", "5m", "-seed", "7", "-v2", "-checkpoint", "1000", "-o", v2, "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := trace.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 2 {
+		t.Fatalf("-v2 wrote version %d", r.Version())
+	}
+	e2, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Errorf("v2 trace (%d events) differs from v1 (%d events)", len(e2), len(e1))
+	}
+	if !r.Skipped().Zero() {
+		t.Errorf("undamaged v2 trace reported skips: %v", r.Skipped())
+	}
+}
+
 // The merge path: a profile list produces one time-ordered stream and a
 // merged-summary line.
 func TestRunMergesProfiles(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 )
@@ -19,11 +20,23 @@ import (
 // Delta-encoded times and varint fields keep trace files small; the 1985
 // tracer had the same concern (§3: "Our main concern in gathering file
 // system trace information was the volume of data").
+//
+// Version 2 keeps the record encoding bit-for-bit and adds periodic
+// resync checkpoints between records — see checkpoint.go. A version-2
+// reader verifies each segment against its checkpoint CRC before
+// emitting any of its events, and on corruption skips forward to the
+// next checkpoint instead of aborting, so one damaged region costs one
+// segment, not the rest of the trace.
 
 var magic = [4]byte{'B', 'S', 'D', 'T'}
 
-// Version is the current binary format version.
+// Version is the original binary format version, still the default for
+// every writer: the golden report path depends on byte-identical v1
+// output.
 const Version = 1
+
+// Version2 is the checkpointed format version (see checkpoint.go).
+const Version2 = 2
 
 // ErrBadHeader is returned by NewReader when the stream does not start
 // with a valid trace header.
@@ -37,28 +50,71 @@ type Writer struct {
 	buf   [binary.MaxVarintLen64]byte
 	begun bool
 	err   error
+
+	// Version-2 checkpoint state. version is 1 or 2; the segment fields
+	// track the records written since the last checkpoint.
+	version    byte
+	ckInterval int
+	segCRC     uint32
+	segBytes   int64
+	segRecords int
 }
 
-// NewWriter creates a Writer. The header is written on the first event so
-// that creating a writer is infallible.
+// NewWriter creates a version-1 Writer. The header is written on the
+// first event so that creating a writer is infallible.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: Version}
+}
+
+// NewWriterV2 creates a Writer emitting the version-2 checkpointed
+// framing: a resync checkpoint every interval records (and one final
+// checkpoint at Flush, so every record is covered by a CRC). interval <=
+// 0 selects DefaultCheckpointInterval. Record bytes are identical to
+// version 1; only the header version byte and the checkpoints differ.
+func NewWriterV2(w io.Writer, interval int) *Writer {
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), version: Version2, ckInterval: interval}
+}
+
+// recordBytes writes raw record bytes, folding them into the segment CRC
+// when the checkpointed format is active.
+func (w *Writer) recordBytes(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, w.err = w.w.Write(p); w.err != nil {
+		return
+	}
+	if w.version == Version2 {
+		w.segCRC = crc32.Update(w.segCRC, crc32.IEEETable, p)
+		w.segBytes += int64(len(p))
+	}
 }
 
 func (w *Writer) varint(x int64) {
-	if w.err != nil {
-		return
-	}
 	n := binary.PutVarint(w.buf[:], x)
-	_, w.err = w.w.Write(w.buf[:n])
+	w.recordBytes(w.buf[:n])
 }
 
 func (w *Writer) uvarint(x uint64) {
-	if w.err != nil {
-		return
-	}
 	n := binary.PutUvarint(w.buf[:], x)
-	_, w.err = w.w.Write(w.buf[:n])
+	w.recordBytes(w.buf[:n])
+}
+
+func (w *Writer) header() error {
+	if w.begun || w.err != nil {
+		return w.err
+	}
+	if _, w.err = w.w.Write(magic[:]); w.err != nil {
+		return w.err
+	}
+	if w.err = w.w.WriteByte(w.version); w.err != nil {
+		return w.err
+	}
+	w.begun = true
+	return nil
 }
 
 // Write encodes one event. Events should be presented in non-decreasing
@@ -71,18 +127,10 @@ func (w *Writer) Write(e Event) error {
 	if !e.Kind.Valid() {
 		return fmt.Errorf("trace: cannot encode event of kind %v", e.Kind)
 	}
-	if !w.begun {
-		if _, w.err = w.w.Write(magic[:]); w.err != nil {
-			return w.err
-		}
-		if w.err = w.w.WriteByte(Version); w.err != nil {
-			return w.err
-		}
-		w.begun = true
+	if err := w.header(); err != nil {
+		return err
 	}
-	if w.err = w.w.WriteByte(byte(e.Kind)); w.err != nil {
-		return w.err
-	}
+	w.recordBytes([]byte{byte(e.Kind)})
 	w.varint(int64(e.Time - w.prev))
 	w.prev = e.Time
 	switch e.Kind {
@@ -111,6 +159,12 @@ func (w *Writer) Write(e Event) error {
 	}
 	if w.err == nil {
 		w.count++
+		if w.version == Version2 {
+			w.segRecords++
+			if w.segRecords >= w.ckInterval {
+				w.writeCheckpoint()
+			}
+		}
 	}
 	return w.err
 }
@@ -120,60 +174,170 @@ func (w *Writer) Count() int64 { return w.count }
 
 // Flush writes any buffered data to the underlying stream. An empty trace
 // still gets a header so that readers can distinguish "empty trace" from
-// "not a trace".
+// "not a trace". A version-2 writer first seals any open segment with a
+// checkpoint, so a flushed stream is verifiable end to end.
 func (w *Writer) Flush() error {
-	if w.err != nil {
-		return w.err
+	if err := w.header(); err != nil {
+		return err
 	}
-	if !w.begun {
-		if _, w.err = w.w.Write(magic[:]); w.err != nil {
-			return w.err
-		}
-		if w.err = w.w.WriteByte(Version); w.err != nil {
-			return w.err
-		}
-		w.begun = true
+	if w.version == Version2 && w.segRecords > 0 {
+		w.writeCheckpoint()
 	}
-	w.err = w.w.Flush()
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
 	return w.err
 }
 
-// Reader decodes events from a binary trace stream.
+// Reader decodes events from a binary trace stream, version 1 or 2.
+//
+// A version-2 reader buffers each segment and verifies it against its
+// checkpoint CRC before emitting any event; on CRC mismatch or
+// undecodable bytes it discards the segment, scans forward to the next
+// checkpoint, restores the delta-decoding state from the checkpoint's
+// absolute snapshot, and continues. Skipped() reports what was lost.
+// A version-1 reader fails fast exactly as before, now with record and
+// byte-offset context on every error.
 type Reader struct {
-	r    *bufio.Reader
-	prev Time
+	r       *posReader
+	prev    Time
+	version byte
+	// index is the absolute record index of the next event to return;
+	// after a version-2 resync it realigns to the writer-side index
+	// recorded in the checkpoint.
+	index int64
+
+	// Version-2 segment state: events decoded but not yet verified or
+	// emitted, and the running skip accounting.
+	seg    []Event
+	segPos int
+	skip   SkipStats
+	eof    bool
 }
 
-// NewReader creates a Reader, consuming and checking the header.
+// SkipStats reports what a self-healing version-2 reader could not turn
+// into events: corrupt or unverifiable regions it skipped.
+type SkipStats struct {
+	// Bytes is the count of stream bytes consumed without emitting
+	// events: corrupt segments (including their checkpoints), scanned
+	// garbage, and unverified truncated tails.
+	Bytes int64
+	// Records is a best-effort estimate of the records lost, from
+	// checkpoint record indices where available and from decoded-but-
+	// unverified counts otherwise.
+	Records int64
+	// Segments is the number of discarded segments (resync operations).
+	Segments int64
+}
+
+// Zero reports whether nothing was skipped — the stream was ingested in
+// full.
+func (s SkipStats) Zero() bool { return s == SkipStats{} }
+
+func (s SkipStats) String() string {
+	return fmt.Sprintf("%d bytes, ~%d records, %d segments skipped", s.Bytes, s.Records, s.Segments)
+}
+
+// posReader is a byte reader that tracks the absolute stream offset and
+// an optional running CRC32 of the bytes read (used for version-2
+// segment verification).
+type posReader struct {
+	br    *bufio.Reader
+	off   int64
+	crc   uint32
+	crcOn bool
+}
+
+func (p *posReader) ReadByte() (byte, error) {
+	b, err := p.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	p.off++
+	if p.crcOn {
+		p.crc = crc32.Update(p.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, nil
+}
+
+// NewReader creates a Reader, consuming and checking the header. Version
+// 1 and version 2 streams are both accepted.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	p := &posReader{br: bufio.NewReaderSize(r, 1<<16)}
 	var hdr [5]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	for i := range hdr {
+		b, err := p.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		}
+		hdr[i] = b
 	}
 	if [4]byte(hdr[:4]) != magic {
 		return nil, fmt.Errorf("%w: magic %q", ErrBadHeader, hdr[:4])
 	}
-	if hdr[4] != Version {
+	if hdr[4] != Version && hdr[4] != Version2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, hdr[4])
 	}
-	return &Reader{r: br}, nil
+	rd := &Reader{r: p, version: hdr[4]}
+	rd.r.crcOn = rd.version == Version2
+	return rd, nil
 }
 
+// Version returns the stream's format version (1 or 2).
+func (r *Reader) Version() int { return int(r.version) }
+
+// Skipped returns the reader's self-healing accounting. It is always
+// zero for a version-1 stream (which fails fast instead) and for an
+// undamaged version-2 stream; a caller that requires complete ingestion
+// must check it after draining the stream.
+func (r *Reader) Skipped() SkipStats { return r.skip }
+
 // Next returns the next event, or io.EOF at a clean end of stream. Any
-// truncation mid-record is reported as io.ErrUnexpectedEOF.
+// truncation mid-record is reported as io.ErrUnexpectedEOF. Decode
+// errors carry the failing record's index and byte offset.
 func (r *Reader) Next() (Event, error) {
+	if r.version == Version2 {
+		return r.nextV2()
+	}
+	recStart := r.r.off
 	kindByte, err := r.r.ReadByte()
 	if err != nil {
 		if err == io.EOF {
 			return Event{}, io.EOF
 		}
-		return Event{}, err
+		return Event{}, r.recordErr(recStart, err)
 	}
+	e, err := r.decodeBody(kindByte)
+	if err != nil {
+		return Event{}, r.recordErr(recStart, err)
+	}
+	r.index++
+	return e, nil
+}
+
+// recordErr wraps a decode error with the failing record's index and the
+// byte offset where the record started.
+func (r *Reader) recordErr(recStart int64, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("trace: record %d at offset %d: corrupt stream: %w", r.index, recStart, err)
+}
+
+// errBadKind is the inner error for an invalid kind byte; recordErr adds
+// the position context.
+type errBadKind byte
+
+func (e errBadKind) Error() string { return fmt.Sprintf("kind byte %d", byte(e)) }
+
+// decodeBody decodes one record given its already-consumed kind byte,
+// advancing the delta-time state. It is shared by the version-1 fast
+// path and the version-2 segment loop.
+func (r *Reader) decodeBody(kindByte byte) (Event, error) {
 	var e Event
 	e.Kind = Kind(kindByte)
 	if !e.Kind.Valid() {
-		return Event{}, fmt.Errorf("trace: corrupt stream: kind byte %d", kindByte)
+		return Event{}, errBadKind(kindByte)
 	}
 	dt, err := r.varint()
 	if err != nil {
@@ -228,10 +392,7 @@ func (r *Reader) Next() (Event, error) {
 		e.File, e.User = FileID(file), UserID(user)
 	}
 	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return Event{}, fmt.Errorf("trace: corrupt stream: %w", err)
+		return Event{}, err
 	}
 	return e, nil
 }

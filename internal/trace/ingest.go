@@ -1,0 +1,42 @@
+package trace
+
+import "io"
+
+// LenientSource is the degraded-mode ingestion wrapper the commands'
+// -lenient flags install: a RecoverSource repair pass plus absorption of
+// mid-stream decode errors. A version-1 stream has no checkpoints to
+// resync at, so when its reader fails mid-stream the wrapper ends the
+// stream at the last good record instead of failing the run, keeping the
+// error for the damage report. Version-2 readers self-heal below this
+// layer and only surface real I/O errors, which still propagate.
+type LenientSource struct {
+	rec   *RecoverSource
+	trunc error
+}
+
+// NewLenientSource wraps src for degraded-mode ingestion.
+func NewLenientSource(src Source) *LenientSource {
+	s := &LenientSource{}
+	s.rec = NewRecoverSource(FuncSource(func() (Event, error) {
+		if s.trunc != nil {
+			return Event{}, io.EOF
+		}
+		e, err := src.Next()
+		if err != nil && err != io.EOF {
+			s.trunc = err
+			return Event{}, io.EOF
+		}
+		return e, err
+	}))
+	return s
+}
+
+// Next returns the next repaired event.
+func (s *LenientSource) Next() (Event, error) { return s.rec.Next() }
+
+// Stats returns the repair budget so far.
+func (s *LenientSource) Stats() RepairStats { return s.rec.Stats() }
+
+// Truncated returns the decode error that ended the stream early, or
+// nil if the stream ran to a clean EOF.
+func (s *LenientSource) Truncated() error { return s.trunc }

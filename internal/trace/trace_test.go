@@ -431,3 +431,42 @@ func TestValidatorErrorCap(t *testing.T) {
 		t.Errorf("error cap not applied: %d errors", len(v.Errs()))
 	}
 }
+
+// TestValidatorFirstBad: the first failing event is reported verbatim
+// and stays pinned while later events also fail.
+func TestValidatorFirstBad(t *testing.T) {
+	v := NewValidator(1)
+	good := Event{Time: 0, Kind: KindOpen, OpenID: 1, File: 9, Mode: ReadOnly, Size: 64}
+	bad := Event{Time: 1, Kind: KindClose, OpenID: 77, NewPos: 123}
+	v.Check(good)
+	if v.FirstBad() != nil {
+		t.Fatalf("FirstBad set on a clean prefix: %v", v.FirstBad())
+	}
+	v.Check(bad)
+	v.Check(Event{Time: 2, Kind: KindSeek, OpenID: 88}) // also bad, beyond the cap
+	if fb := v.FirstBad(); fb == nil || *fb != bad {
+		t.Fatalf("FirstBad = %v, want %v", fb, bad)
+	}
+}
+
+func TestValidatorStats(t *testing.T) {
+	v := NewValidator(0)
+	events := []Event{
+		{Time: 0, Kind: KindOpen, OpenID: 1, File: 1, Mode: ReadOnly, Size: 10},
+		{Time: 1, Kind: KindSeek, OpenID: 1, OldPos: 0, NewPos: 5},
+		{Time: 2, Kind: KindClose, OpenID: 1, NewPos: 10},
+		{Time: 3, Kind: KindUnlink, File: 1},
+		{Time: 4, Kind: KindUnlink, File: 2},
+		{Time: 5, Kind: Kind(99)}, // invalid, still counted in Total
+	}
+	for _, e := range events {
+		v.Check(e)
+	}
+	c := v.Stats()
+	if c.Total != int64(len(events)) {
+		t.Fatalf("Total = %d, want %d", c.Total, len(events))
+	}
+	if c.ByKind[KindUnlink] != 2 || c.ByKind[KindOpen] != 1 || c.ByKind[KindSeek] != 1 || c.ByKind[KindClose] != 1 {
+		t.Fatalf("per-kind counts wrong: %+v", c.ByKind)
+	}
+}

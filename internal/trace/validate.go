@@ -18,11 +18,14 @@ import "fmt"
 //     position-recording events);
 //   - positions and sizes are non-negative, and modes are valid.
 type Validator struct {
-	prev    Time
-	started bool
-	open    map[OpenID]*openState
-	errs    []error
-	maxErrs int
+	prev     Time
+	started  bool
+	open     map[OpenID]*openState
+	errs     []error
+	maxErrs  int
+	counts   Counts
+	firstBad *Event
+	current  Event
 }
 
 type openState struct {
@@ -41,6 +44,10 @@ func NewValidator(maxErrs int) *Validator {
 }
 
 func (v *Validator) errorf(format string, args ...any) {
+	if v.firstBad == nil {
+		bad := v.current
+		v.firstBad = &bad
+	}
 	if len(v.errs) < v.maxErrs {
 		v.errs = append(v.errs, fmt.Errorf(format, args...))
 	}
@@ -48,6 +55,8 @@ func (v *Validator) errorf(format string, args ...any) {
 
 // Check validates one event in stream order.
 func (v *Validator) Check(e Event) {
+	v.current = e
+	v.counts.Add(e)
 	if !e.Kind.Valid() {
 		v.errorf("t=%v: invalid kind %d", e.Time, uint8(e.Kind))
 		return
@@ -122,6 +131,14 @@ func (v *Validator) Finish() (unclosed int) {
 
 // Errs returns the accumulated validation errors.
 func (v *Validator) Errs() []error { return v.errs }
+
+// FirstBad returns the first event that failed a check, verbatim, so a
+// corrupt-input report can show the offending record rather than only a
+// message about it. It returns nil while everything has validated.
+func (v *Validator) FirstBad() *Event { return v.firstBad }
+
+// Stats returns the tally of events seen per kind, valid or not.
+func (v *Validator) Stats() Counts { return v.counts }
 
 // Validate checks a whole in-memory trace and returns the errors plus the
 // number of opens left unclosed at the end.
