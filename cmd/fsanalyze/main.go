@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/obs"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
 )
@@ -38,6 +39,8 @@ type options struct {
 	lenient  bool
 	top      int
 	from, to time.Duration
+	manifest string
+	progress bool
 }
 
 func main() {
@@ -49,6 +52,8 @@ func main() {
 	flag.IntVar(&opts.top, "top", 0, "also list the N busiest files per trace")
 	flag.DurationVar(&opts.from, "from", 0, "analyze only events at or after this offset")
 	flag.DurationVar(&opts.to, "to", 0, "analyze only events before this offset (0 = end of trace)")
+	flag.StringVar(&opts.manifest, "manifest", "", "write the run manifest (config, stage spans, metrics) to this file")
+	flag.BoolVar(&opts.progress, "progress", false, "live per-stage progress line on stderr (TTY only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: fsanalyze [flags] trace.bin...")
@@ -129,6 +134,33 @@ func ingestDamage(path string, rdr *trace.Reader, ls *trace.LenientSource, lenie
 }
 
 func run(w io.Writer, paths []string, opts options) error {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(opts.manifest != "" || opts.progress)
+	var prog *obs.Progress
+	if opts.progress {
+		prog = obs.StartProgress(os.Stderr, reg)
+	}
+	defer prog.Stop()
+	writeManifest := func() error {
+		if opts.manifest == "" {
+			return nil
+		}
+		m := reg.Manifest(obs.RunInfo{
+			Command: "fsanalyze",
+			Config: map[string]string{
+				"traces":   strings.Join(paths, ","),
+				"only":     opts.only,
+				"validate": fmt.Sprintf("%t", opts.validate),
+				"text":     fmt.Sprintf("%t", opts.text),
+				"lenient":  fmt.Sprintf("%t", opts.lenient),
+				"top":      fmt.Sprintf("%d", opts.top),
+				"from":     opts.from.String(),
+				"to":       opts.to.String(),
+			},
+		})
+		return m.WriteFile(opts.manifest)
+	}
+
 	tr := report.Traces{}
 	var tops []*analyzer.TopAccum
 	for _, path := range paths {
@@ -136,8 +168,10 @@ func run(w io.Writer, paths []string, opts options) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 
 		if opts.validate {
+			src = reg.Instrument("validate/"+name, src)
 			v := trace.NewValidator(0)
 			var n int
 			for {
@@ -166,6 +200,11 @@ func run(w io.Writer, paths []string, opts options) error {
 			fmt.Fprintf(w, "%s: seen %s\n", path, strings.Join(kinds, ", "))
 			fmt.Fprintf(w, "%s: %d events, %d validation errors, %d unclosed opens\n",
 				path, n, len(v.Errs()), unclosed)
+			if reg.Enabled() {
+				reg.Counter("validate." + name + ".events").Set(int64(n))
+				reg.Counter("validate." + name + ".errors").Set(int64(len(v.Errs())))
+				reg.Counter("validate." + name + ".unclosed").Set(int64(unclosed))
+			}
 			if closer != nil {
 				closer.Close()
 			}
@@ -177,6 +216,7 @@ func run(w io.Writer, paths []string, opts options) error {
 			ls = trace.NewLenientSource(src)
 			src = ls
 		}
+		src = reg.Instrument("analyze/"+name, src)
 
 		// One pass feeds the analyzer and, when asked for, the busiest-file
 		// accumulator.
@@ -204,13 +244,18 @@ func run(w io.Writer, paths []string, opts options) error {
 		if err := ingestDamage(path, rdr, ls, opts.lenient); err != nil {
 			return err
 		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if rdr != nil {
+			obs.PublishSkip(reg, "skip."+name, rdr.Skipped())
+		}
+		if ls != nil {
+			obs.PublishRepair(reg, "repair."+name, ls.Stats())
+		}
 		tr.Names = append(tr.Names, name)
 		tr.Analyses = append(tr.Analyses, s.Finish())
 		tops = append(tops, top)
 	}
 	if opts.validate {
-		return nil
+		return writeManifest()
 	}
 
 	want := func(name string) bool {
@@ -270,5 +315,5 @@ func run(w io.Writer, paths []string, opts options) error {
 			t.Render(w)
 		}
 	}
-	return nil
+	return writeManifest()
 }

@@ -16,11 +16,17 @@
 // pipeline show up as a drop in its own row rather than hiding in an
 // end-to-end number.
 //
+// Every stage is timed by an obs span — the same instrument the run
+// manifest snapshots — so BENCH_scale.json and the -manifest output are
+// two views of one measurement and can never disagree.
+//
 // Usage:
 //
 //	fsbench                          # scales 1, 4, 16; 1h traces
 //	fsbench -scales 1,8 -duration 30m
 //	fsbench -o BENCH_scale.json
+//	fsbench -manifest run.json -progress
+//	fsbench -debug-addr :6060        # live expvar + pprof during the run
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/obs"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
 	"bsdtrace/internal/xfer"
@@ -63,13 +70,29 @@ type stageResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// row converts a closed stage span into a benchmark row: the span is
+// the single source of truth for both this JSON record and the run
+// manifest.
+func row(scale float64, stage string, sp *obs.Span) stageResult {
+	secs := sp.Wall().Seconds()
+	events := sp.Events()
+	eps := 0.0
+	if secs > 0 {
+		eps = float64(events) / secs
+	}
+	return stageResult{Scale: scale, Stage: stage, Events: events, Seconds: secs, EventsPerSec: eps}
+}
+
 func main() {
 	var (
-		duration = flag.Duration("duration", time.Hour, "simulated time span per trace")
-		seed     = flag.Int64("seed", 1, "random seed")
-		scalesF  = flag.String("scales", "1,4,16", "comma-separated user-population scales")
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "generation shards (sharded generate stage)")
-		out      = flag.String("o", "BENCH_scale.json", "output file")
+		duration  = flag.Duration("duration", time.Hour, "simulated time span per trace")
+		seed      = flag.Int64("seed", 1, "random seed")
+		scalesF   = flag.String("scales", "1,4,16", "comma-separated user-population scales")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "generation shards (sharded generate stage)")
+		out       = flag.String("o", "BENCH_scale.json", "output file")
+		manifest  = flag.String("manifest", "", "also write the run manifest (config, stage spans, metrics) to this file")
+		progress  = flag.Bool("progress", false, "live per-stage progress line on stderr (TTY only)")
+		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address for live inspection")
 	)
 	flag.Parse()
 
@@ -81,6 +104,23 @@ func main() {
 			os.Exit(2)
 		}
 		scales = append(scales, v)
+	}
+
+	// The benchmark rows are read off obs spans, so the registry is
+	// always on here; -manifest only controls whether it is written out.
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fsbench: debug server on http://%s/debug/vars\n", addr)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, reg)
 	}
 
 	rec := benchRecord{
@@ -96,8 +136,9 @@ func main() {
 	}
 
 	for _, scale := range scales {
-		results, err := benchScale(*seed, trace.Time(duration.Milliseconds()), scale, *shards)
+		results, err := benchScale(reg, *seed, trace.Time(duration.Milliseconds()), scale, *shards)
 		if err != nil {
+			prog.Stop()
 			fmt.Fprintln(os.Stderr, "fsbench:", err)
 			os.Exit(1)
 		}
@@ -107,6 +148,7 @@ func main() {
 				r.Scale, r.Stage, r.Events, r.Seconds, r.EventsPerSec)
 		}
 	}
+	prog.Stop()
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -119,39 +161,53 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *manifest != "" {
+		m := reg.Manifest(obs.RunInfo{
+			Command: "fsbench",
+			Seed:    *seed,
+			Config: map[string]string{
+				"profile":  "A5",
+				"duration": duration.String(),
+				"scales":   *scalesF,
+				"shards":   strconv.Itoa(*shards),
+			},
+		})
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *manifest)
+	}
 }
 
-// benchScale times the five pipeline stages at one population scale.
-func benchScale(seed int64, duration trace.Time, scale float64, shards int) ([]stageResult, error) {
+// benchScale times the five pipeline stages at one population scale,
+// one obs span per stage.
+func benchScale(reg *obs.Registry, seed int64, duration trace.Time, scale float64, shards int) ([]stageResult, error) {
 	cfg := workload.Config{
 		Profile: "A5", Seed: seed, Duration: duration,
 		UserScale: scale, Shards: shards,
 	}
-	row := func(stage string, events int64, elapsed time.Duration) stageResult {
-		secs := elapsed.Seconds()
-		eps := 0.0
-		if secs > 0 {
-			eps = float64(events) / secs
-		}
-		return stageResult{Scale: scale, Stage: stage, Events: events, Seconds: secs, EventsPerSec: eps}
-	}
+	label := func(stage string) string { return fmt.Sprintf("%s/x%g", stage, scale) }
 
 	// Stage 1: sharded generation, events discarded at the sink. This is
 	// the producer's peak rate — nothing downstream throttles it.
-	var n int64
-	start := time.Now()
-	if _, err := workload.GenerateStream(cfg, func(trace.Event) error { n++; return nil }); err != nil {
-		return nil, err
-	}
-	results := []stageResult{row("generate", n, time.Since(start))}
-
-	// The remaining stages consume a materialized copy of the same trace
-	// so each stage's cost is measured alone.
-	res, err := workload.Generate(cfg)
+	sp := reg.StartSpan(label("generate"))
+	res, err := workload.GenerateStream(cfg, func(trace.Event) error { sp.AddOut(1); return nil })
 	if err != nil {
 		return nil, err
 	}
-	events := res.Events
+	sp.End()
+	workload.PublishStats(reg, label("kernel"), res.KernelStats)
+	results := []stageResult{row(scale, "generate", sp)}
+
+	// The remaining stages consume a materialized copy of the same trace
+	// so each stage's cost is measured alone.
+	memres, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	events := memres.Events
 
 	// Stage 2: 8-way merge over pre-split strands.
 	const strands = 8
@@ -163,43 +219,49 @@ func benchScale(seed int64, duration trace.Time, scale float64, shards int) ([]s
 	for i := range split {
 		sources[i] = trace.NewSliceSource(split[i])
 	}
-	var merged int64
-	start = time.Now()
+	sp = reg.StartSpan(label("merge"))
 	m := trace.NewMergeSource(sources...)
 	for {
 		if _, err := m.Next(); err != nil {
 			break
 		}
-		merged++
+		sp.AddOut(1)
 	}
-	results = append(results, row("merge", merged, time.Since(start)))
+	sp.End()
+	results = append(results, row(scale, "merge", sp))
 
-	// Stage 3: incremental analyzer.
-	start = time.Now()
-	if _, err := analyzer.AnalyzeSource(trace.NewSliceSource(events), analyzer.Options{}); err != nil {
+	// Stage 3: incremental analyzer, consuming through an instrumented
+	// source so the span sees exactly what the analyzer does.
+	sp = reg.StartSpan(label("stream-analyze"))
+	if _, err := analyzer.AnalyzeSource(obs.SpanSource(sp, trace.NewSliceSource(events)), analyzer.Options{}); err != nil {
 		return nil, err
 	}
-	results = append(results, row("stream-analyze", int64(len(events)), time.Since(start)))
+	sp.End()
+	results = append(results, row(scale, "stream-analyze", sp))
 
 	// Stage 4: incremental tape builder.
-	start = time.Now()
-	if _, err := xfer.BuildTape(trace.NewSliceSource(events)); err != nil {
+	sp = reg.StartSpan(label("tape-build"))
+	tape, err := xfer.BuildTape(obs.SpanSource(sp, trace.NewSliceSource(events)))
+	if err != nil {
 		return nil, err
 	}
-	results = append(results, row("tape-build", int64(len(events)), time.Since(start)))
+	sp.End()
+	tape.PublishMetrics(reg, label("tape"))
+	results = append(results, row(scale, "tape-build", sp))
 
 	// Stage 5: self-healing recovery pass over the same trace — the tax
 	// the -lenient ingestion path adds on top of a plain stream read.
-	var recovered int64
-	start = time.Now()
+	sp = reg.StartSpan(label("recover"))
 	rec := trace.NewRecoverSource(trace.NewSliceSource(events))
 	for {
 		if _, err := rec.Next(); err != nil {
 			break
 		}
-		recovered++
+		sp.AddOut(1)
 	}
-	results = append(results, row("recover", recovered, time.Since(start)))
+	sp.End()
+	obs.PublishRepair(reg, label("repair"), rec.Stats())
+	results = append(results, row(scale, "recover", sp))
 
 	return results, nil
 }

@@ -30,6 +30,7 @@ import (
 
 	"bsdtrace/internal/cachesim"
 	"bsdtrace/internal/fault"
+	"bsdtrace/internal/obs"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/xfer"
@@ -53,37 +54,76 @@ func parseSize(s string) (int64, error) {
 
 func main() {
 	var (
-		cache   = flag.String("cache", "4M", "cache size (e.g. 390K, 4M)")
-		block   = flag.String("block", "4K", "block size")
-		policy  = flag.String("policy", "delayed", "write policy: through, flush, delayed")
-		flush   = flag.Duration("flush", 30*time.Second, "flush-back interval (with -policy flush)")
-		replace = flag.String("replace", "lru", "replacement: lru, fifo, clock, random")
-		paging  = flag.Bool("paging", false, "simulate program page-in as whole-file reads")
-		sweep   = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, flush")
-		crashN  = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
-		crashAt = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
-		lenient = flag.Bool("lenient", false, "repair damaged traces and simulate what survives instead of failing on partial ingest")
+		cache    = flag.String("cache", "4M", "cache size (e.g. 390K, 4M)")
+		block    = flag.String("block", "4K", "block size")
+		policy   = flag.String("policy", "delayed", "write policy: through, flush, delayed")
+		flush    = flag.Duration("flush", 30*time.Second, "flush-back interval (with -policy flush)")
+		replace  = flag.String("replace", "lru", "replacement: lru, fifo, clock, random")
+		paging   = flag.Bool("paging", false, "simulate program page-in as whole-file reads")
+		sweep    = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, flush")
+		crashN   = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
+		crashAt  = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
+		lenient  = flag.Bool("lenient", false, "repair damaged traces and simulate what survives instead of failing on partial ingest")
+		manifest = flag.String("manifest", "", "write the run manifest (config, stage spans, metrics) to this file")
+		progress = flag.Bool("progress", false, "live per-stage progress line on stderr (TTY only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fscachesim [flags] trace.bin")
 		os.Exit(2)
 	}
+
+	reg := obs.NewRegistry()
+	reg.SetEnabled(*manifest != "" || *progress)
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, reg)
+	}
+	// finish closes out the run on every success path: stops the
+	// progress line and writes the manifest when one was asked for.
+	finish := func() {
+		prog.Stop()
+		if *manifest == "" {
+			return
+		}
+		m := reg.Manifest(obs.RunInfo{
+			Command: "fscachesim",
+			Config: map[string]string{
+				"trace":   flag.Arg(0),
+				"cache":   *cache,
+				"block":   *block,
+				"policy":  *policy,
+				"flush":   flush.String(),
+				"replace": *replace,
+				"paging":  fmt.Sprintf("%t", *paging),
+				"sweep":   *sweep,
+				"lenient": fmt.Sprintf("%t", *lenient),
+			},
+		})
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "fscachesim:", err)
+			os.Exit(1)
+		}
+	}
+
 	// Reconstruct the transfer tape once, streaming the trace file event
 	// by event (the raw events are never materialized); every
 	// configuration below — single run or sweep — replays the same tape.
-	tape, err := buildTape(flag.Arg(0), *lenient)
+	tape, err := buildTape(flag.Arg(0), *lenient, reg)
 	if err != nil {
+		prog.Stop()
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
 	}
 	w := os.Stdout
 
 	if *sweep != "" {
-		if err := runSweep(w, tape, *sweep); err != nil {
+		if err := runSweep(w, tape, *sweep, reg); err != nil {
+			prog.Stop()
 			fmt.Fprintln(os.Stderr, "fscachesim:", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 
@@ -123,25 +163,31 @@ func main() {
 	}
 
 	if *crashN > 0 {
-		if err := runCrashSweep(w, tape, cfg.BlockSize, cfg.CacheSize, *crashN); err != nil {
+		if err := runCrashSweep(w, tape, cfg.BlockSize, cfg.CacheSize, *crashN, reg); err != nil {
+			prog.Stop()
 			fmt.Fprintln(os.Stderr, "fscachesim:", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 	if *crashAt > 0 {
-		if err := runCrashAt(w, tape, cfg, trace.Time((*crashAt).Milliseconds())); err != nil {
+		if err := runCrashAt(w, tape, cfg, trace.Time((*crashAt).Milliseconds()), reg); err != nil {
+			prog.Stop()
 			fmt.Fprintln(os.Stderr, "fscachesim:", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 
 	r, err := cachesim.SimulateTape(tape, cfg)
 	if err != nil {
+		prog.Stop()
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
 	}
+	cachesim.PublishResults(reg, "sim", r)
 	fmt.Fprintf(w, "cache %s, blocks %s, %v, %v replacement\n",
 		report.Size(cfg.CacheSize), report.Size(cfg.BlockSize), cfg.Write, cfg.Replacement)
 	fmt.Fprintf(w, "logical block accesses: %s (%s writes)\n",
@@ -152,12 +198,14 @@ func main() {
 	fmt.Fprintf(w, "dirty blocks that died in cache: %s (%s of dirtied)\n",
 		report.Count(r.DirtyDiscarded), report.Pct(r.NeverWrittenFraction()))
 	fmt.Fprintf(w, "blocks resident > %v: %s\n", r.Config.ResidencyThreshold, report.Pct(r.ResidencyOver))
+	finish()
 }
 
-// buildTape streams a binary trace file into a transfer tape. A strict
-// build fails on any damage; a lenient one repairs the stream first and
-// reports the budget to stderr.
-func buildTape(path string, lenient bool) (*xfer.Tape, error) {
+// buildTape streams a binary trace file into a transfer tape, under a
+// tape-build span when observation is on. A strict build fails on any
+// damage; a lenient one repairs the stream first and reports the
+// budget to stderr.
+func buildTape(path string, lenient bool, reg *obs.Registry) (*xfer.Tape, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -173,6 +221,7 @@ func buildTape(path string, lenient bool) (*xfer.Tape, error) {
 		ls = trace.NewLenientSource(r)
 		src = ls
 	}
+	src = reg.Instrument("tape-build", src)
 	tape, err := xfer.BuildTape(src)
 	if err != nil {
 		if skip := r.Skipped(); !lenient && !skip.Zero() {
@@ -192,10 +241,15 @@ func buildTape(path string, lenient bool) (*xfer.Tape, error) {
 			fmt.Fprintf(os.Stderr, "fscachesim: %s: degraded ingest: %v; repaired: %v\n", path, skip, st)
 		}
 	}
+	obs.PublishSkip(reg, "skip", r.Skipped())
+	if ls != nil {
+		obs.PublishRepair(reg, "repair", ls.Stats())
+	}
+	tape.PublishMetrics(reg, "tape")
 	return tape, nil
 }
 
-func runSweep(w *os.File, tape *xfer.Tape, name string) error {
+func runSweep(w *os.File, tape *xfer.Tape, name string, reg *obs.Registry) error {
 	switch strings.ToLower(name) {
 	case "tablevi", "vi":
 		sizes := cachesim.PaperCacheSizes()
@@ -204,12 +258,18 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 		if err != nil {
 			return err
 		}
+		for _, row := range res {
+			cachesim.PublishResults(reg, "sim", row...)
+		}
 		report.TableVI(sizes, pols, res).Render(w)
 		return report.Figure5(sizes, pols, res).Render(w)
 	case "tablevii", "vii":
 		res, err := cachesim.BlockSizeSweepTape(tape, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes())
 		if err != nil {
 			return err
+		}
+		for _, row := range res.Results {
+			cachesim.PublishResults(reg, "sim", row...)
 		}
 		report.TableVII(res).Render(w)
 		return report.Figure6(res).Render(w)
@@ -219,11 +279,17 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 		if err != nil {
 			return err
 		}
+		for _, pair := range res {
+			cachesim.PublishResults(reg, "sim", pair[0], pair[1])
+		}
 		return report.Figure7(sizes, res).Render(w)
 	case "replacement":
 		res, err := cachesim.ReplacementSweepTape(tape, 4096, 2<<20, 1)
 		if err != nil {
 			return err
+		}
+		for _, rp := range []cachesim.Replacement{cachesim.LRU, cachesim.Clock, cachesim.FIFO, cachesim.Random} {
+			cachesim.PublishResults(reg, "sim", res[rp])
 		}
 		t := &report.Table{
 			Title:  "Ablation A1. Replacement policy at a 2-Mbyte delayed-write cache.",
@@ -239,6 +305,9 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 		r, err := cachesim.StackDistancesTape(tape, 4096)
 		if err != nil {
 			return err
+		}
+		if reg.Enabled() {
+			reg.Counter("stack.distinct_blocks").Set(r.DistinctBlocks())
 		}
 		t := &report.Table{
 			Title:  "One-pass LRU stack-distance analysis (4-kbyte blocks).",
@@ -263,6 +332,7 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 		if err != nil {
 			return err
 		}
+		cachesim.PublishResults(reg, "sim", res...)
 		t := &report.Table{
 			Title:  "Ablation A2. Flush-back interval sweep at a 2-Mbyte cache.",
 			Header: []string{"Interval", "Disk Writes", "Miss Ratio"},
@@ -280,24 +350,26 @@ func runSweep(w *os.File, tape *xfer.Tape, name string) error {
 // runCrashSweep samples n crash points across the trace and reports, for
 // each of the paper's write policies, what a crash would lose — one tape
 // replay per policy, all points sampled in the same pass.
-func runCrashSweep(w *os.File, tape *xfer.Tape, blockSize, cacheSize int64, n int) error {
+func runCrashSweep(w *os.File, tape *xfer.Tape, blockSize, cacheSize int64, n int, reg *obs.Registry) error {
 	points := fault.Points(tape, n)
 	pols := cachesim.PaperPolicies()
 	reps, err := fault.PolicySweepTape(tape, blockSize, cacheSize, pols, points)
 	if err != nil {
 		return err
 	}
+	fault.PublishReports(reg, "crash", reps)
 	report.Reliability(pols, reps, cacheSize, blockSize, len(points)).Render(w)
 	return nil
 }
 
 // runCrashAt reports the loss of a single crash instant under one
 // configuration.
-func runCrashAt(w *os.File, tape *xfer.Tape, cfg cachesim.Config, at trace.Time) error {
+func runCrashAt(w *os.File, tape *xfer.Tape, cfg cachesim.Config, at trace.Time, reg *obs.Registry) error {
 	rep, err := fault.CrashReplayTape(tape, cfg, []trace.Time{at})
 	if err != nil {
 		return err
 	}
+	fault.PublishReports(reg, "crash", []*fault.Report{rep})
 	p := rep.Points[0]
 	fmt.Fprintf(w, "crash at %v under %v (cache %s, blocks %s):\n",
 		p.Time, cfg.Write, report.Size(cfg.CacheSize), report.Size(cfg.BlockSize))

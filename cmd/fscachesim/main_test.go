@@ -49,7 +49,7 @@ func TestRunSweeps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := runSweep(f, tape, sweep); err != nil {
+		if err := runSweep(f, tape, sweep, nil); err != nil {
 			t.Fatalf("%s: %v", sweep, err)
 		}
 		f.Close()
@@ -64,7 +64,7 @@ func TestRunSweeps(t *testing.T) {
 			t.Errorf("%s output contains NaN", sweep)
 		}
 	}
-	if err := runSweep(os.Stdout, tape, "nope"); err == nil {
+	if err := runSweep(os.Stdout, tape, "nope", nil); err == nil {
 		t.Errorf("unknown sweep accepted")
 	}
 }
@@ -81,7 +81,7 @@ func TestBuildTapeDamaged(t *testing.T) {
 	if err := trace.WriteFile(clean, res.Events); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildTape(clean, false); err != nil {
+	if _, err := buildTape(clean, false, nil); err != nil {
 		t.Fatalf("strict build failed on a clean trace: %v", err)
 	}
 
@@ -110,12 +110,12 @@ func TestBuildTapeDamaged(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := buildTape(f.Name(), false); err == nil {
+	if _, err := buildTape(f.Name(), false, nil); err == nil {
 		t.Fatal("strict build accepted a damaged trace")
 	} else if !strings.Contains(err.Error(), "-lenient") {
 		t.Fatalf("strict error not actionable: %v", err)
 	}
-	tape, err := buildTape(f.Name(), true)
+	tape, err := buildTape(f.Name(), true, nil)
 	if err != nil {
 		t.Fatalf("lenient build failed: %v", err)
 	}
@@ -140,12 +140,12 @@ func TestRunCrashSweepAndCrashAt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runCrashSweep(f, tape, 4096, 2<<20, 16); err != nil {
+	if err := runCrashSweep(f, tape, 4096, 2<<20, 16, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := runCrashAt(f, tape, cachesim.Config{
 		BlockSize: 4096, CacheSize: 2 << 20, Write: cachesim.DelayedWrite,
-	}, 10*trace.Minute); err != nil {
+	}, 10*trace.Minute, nil); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

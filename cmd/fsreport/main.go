@@ -44,6 +44,7 @@ import (
 	"bsdtrace/internal/fault"
 	"bsdtrace/internal/ffs"
 	"bsdtrace/internal/namei"
+	"bsdtrace/internal/obs"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/stats"
 	"bsdtrace/internal/trace"
@@ -61,6 +62,24 @@ type reportConfig struct {
 	scale     float64
 	shards    int
 	lenient   bool
+	reg       *obs.Registry // nil or disabled = no instrumentation
+}
+
+// reportManifest snapshots a report run's registry into the manifest
+// shape the -manifest flag writes and the golden harness diffs.
+func reportManifest(cfg reportConfig) *obs.Manifest {
+	return cfg.reg.Manifest(obs.RunInfo{
+		Command: "fsreport",
+		Seed:    cfg.seed,
+		Config: map[string]string{
+			"duration":  cfg.duration.String(),
+			"only":      cfg.only,
+			"ablations": fmt.Sprintf("%t", cfg.ablations),
+			"scale":     fmt.Sprintf("%g", cfg.scale),
+			"shards":    fmt.Sprintf("%d", cfg.shards),
+			"lenient":   fmt.Sprintf("%t", cfg.lenient),
+		},
+	})
 }
 
 func main() {
@@ -78,6 +97,9 @@ func main() {
 		lenient    = flag.Bool("lenient", false, "repair damaged traces and report what survives instead of failing on partial ingest")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		manifest   = flag.String("manifest", "", "write the run manifest (config, stage spans, metrics) to this file")
+		progress   = flag.Bool("progress", false, "live per-stage progress line on stderr (TTY only)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar and pprof on this address for live inspection")
 	)
 	flag.Parse()
 
@@ -105,6 +127,32 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	reg.SetEnabled(*manifest != "" || *progress || *debugAddr != "")
+	if *debugAddr != "" {
+		addr, derr := obs.ServeDebug(*debugAddr, reg)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "fsreport:", derr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fsreport: debug server on http://%s/debug/vars\n", addr)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, reg)
+	}
+
+	cfg := reportConfig{
+		duration:  *duration,
+		seed:      *seed,
+		only:      *only,
+		ablations: *ablations,
+		dataDir:   *dataDir,
+		scale:     *scale,
+		shards:    *shards,
+		lenient:   *lenient,
+		reg:       reg,
+	}
 	var err error
 	switch {
 	case *stability > 0:
@@ -112,16 +160,11 @@ func main() {
 	case *degrade:
 		err = runDegrade(w, *duration, *seed)
 	default:
-		err = run(w, reportConfig{
-			duration:  *duration,
-			seed:      *seed,
-			only:      *only,
-			ablations: *ablations,
-			dataDir:   *dataDir,
-			scale:     *scale,
-			shards:    *shards,
-			lenient:   *lenient,
-		})
+		err = run(w, cfg)
+	}
+	prog.Stop()
+	if err == nil && *manifest != "" {
+		err = reportManifest(cfg).WriteFile(*manifest)
 	}
 
 	if *cpuprofile != "" {
@@ -191,15 +234,22 @@ func parallel(n int, job func(i int) error) error {
 	return firstErr
 }
 
-// generateSpill streams one machine's trace into a binary spill file and
+// generateSpill streams one machine's trace into a binary spill file,
+// under a per-machine generation span when observation is on, and
 // returns the generation result (Events nil — the trace lives on disk).
-func generateSpill(cfg workload.Config, path string) (*workload.Result, error) {
+func generateSpill(cfg workload.Config, path string, reg *obs.Registry) (*workload.Result, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	w := trace.NewWriter(f)
-	res, err := workload.GenerateStream(cfg, w.Write)
+	sink := w.Write
+	var sp *obs.Span
+	if reg.Enabled() {
+		sp = reg.StartSpan("generate/" + cfg.Profile)
+		sink = func(e trace.Event) error { sp.AddOut(1); return w.Write(e) }
+	}
+	res, err := workload.GenerateStream(cfg, sink)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -208,7 +258,17 @@ func generateSpill(cfg workload.Config, path string) (*workload.Result, error) {
 		f.Close()
 		return nil, err
 	}
-	return res, f.Close()
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		if st, err := os.Stat(path); err == nil {
+			sp.AddBytes(st.Size())
+		}
+		sp.End()
+	}
+	workload.PublishStats(reg, "kernel."+cfg.Profile, res.KernelStats)
+	return res, nil
 }
 
 // openTrace opens a spill file for one streaming pass. The caller closes
@@ -360,7 +420,7 @@ func runDegrade(w io.Writer, duration time.Duration, seed int64) error {
 	path := filepath.Join(spillDir, "a5.trace")
 	if _, err := generateSpill(workload.Config{
 		Profile: "A5", Seed: seed, Duration: trace.Time(duration.Milliseconds()),
-	}, path); err != nil {
+	}, path, nil); err != nil {
 		return err
 	}
 
@@ -422,7 +482,7 @@ func runDegrade(w io.Writer, duration time.Duration, seed int64) error {
 		row := &degradeRow{
 			seq:    100 * a.Sequentiality.SequentialFraction(analyzer.ClassReadOnly),
 			whole:  100 * a.Sequentiality.WholeFileFraction(analyzer.ClassReadOnly),
-			small:  100 * a.FileSizesByFiles.FractionAtOrBelow(10 * 1024),
+			small:  100 * a.FileSizesByFiles.FractionAtOrBelow(10*1024),
 			repair: rec.Stats(),
 		}
 		if mg != nil {
@@ -527,11 +587,14 @@ func run(w io.Writer, cfg reportConfig) error {
 			Duration:  trace.Time(cfg.duration.Milliseconds()),
 			UserScale: cfg.scale,
 			Shards:    cfg.shards,
-		}, paths[i])
+		}, paths[i], cfg.reg)
 		if err != nil {
 			return err
 		}
 		statics[i] = res.StaticSizes
+		if cfg.reg.Enabled() {
+			cfg.reg.Counter("static." + names[i] + ".files").Set(int64(len(res.StaticSizes)))
+		}
 		return nil
 	}); err != nil {
 		return err
@@ -561,6 +624,7 @@ func run(w io.Writer, cfg reportConfig) error {
 		}
 		defer f.Close()
 		src, ls := ingest(r, cfg.lenient)
+		src = cfg.reg.Instrument("analyze/"+names[i], src)
 		s := analyzer.NewStream(analyzer.Options{})
 		var tb *xfer.TapeBuilder
 		if i == 0 && needTape {
@@ -582,11 +646,16 @@ func run(w io.Writer, cfg reportConfig) error {
 		if err := ingestDamage(names[i]+" analysis", r, ls); err != nil {
 			return err
 		}
+		obs.PublishSkip(cfg.reg, "skip."+names[i], r.Skipped())
+		if ls != nil {
+			obs.PublishRepair(cfg.reg, "repair."+names[i], ls.Stats())
+		}
 		analyses[i] = s.Finish()
 		if tb != nil {
 			if a5Tape, err = tb.Finish(); err != nil {
 				return fmt.Errorf("cachesim: malformed trace: %v", err)
 			}
+			a5Tape.PublishMetrics(cfg.reg, "tape.A5")
 		}
 		return nil
 	}); err != nil {
@@ -601,15 +670,24 @@ func run(w io.Writer, cfg reportConfig) error {
 		if policy, err = cachesim.PolicySweepTape(a5Tape, 4096, cacheSizes, policies); err != nil {
 			return err
 		}
+		for _, row := range policy {
+			cachesim.PublishResults(cfg.reg, "sim", row...)
+		}
 	}
 	if needBlock {
 		if block, err = cachesim.BlockSizeSweepTape(a5Tape, cachesim.PaperBlockSizes(), cachesim.PaperBlockCacheSizes()); err != nil {
 			return err
 		}
+		for _, row := range block.Results {
+			cachesim.PublishResults(cfg.reg, "sim", row...)
+		}
 	}
 	if needPaging {
 		if paging, err = cachesim.PagingSweepTape(a5Tape, 4096, cacheSizes); err != nil {
 			return err
+		}
+		for _, pair := range paging {
+			cachesim.PublishResults(cfg.reg, "sim", pair[0], pair[1])
 		}
 	}
 
@@ -669,7 +747,7 @@ func run(w io.Writer, cfg reportConfig) error {
 		report.ResidencyTable(policy[3][3]).Render(w)
 	}
 	if want("reliability") {
-		if err := runReliability(w, a5Tape); err != nil {
+		if err := runReliability(w, a5Tape, cfg.reg); err != nil {
 			return err
 		}
 	}
@@ -742,7 +820,7 @@ func run(w io.Writer, cfg reportConfig) error {
 		}
 	}
 	if want("server") {
-		if err := runServer(w, names, paths, machineTapes, cfg.lenient); err != nil {
+		if err := runServer(w, names, paths, machineTapes, cfg.lenient, cfg.reg); err != nil {
 			return err
 		}
 	}
@@ -864,7 +942,7 @@ func runFragmentation(w io.Writer, path string, lenient bool) error {
 // different moments — is the shared cache's advantage. The merged trace
 // is never materialized: a k-way merge over the three spill-file readers
 // feeds the tape builder directly.
-func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, lenient bool) error {
+func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, lenient bool, reg *obs.Registry) error {
 	const blockSize = 4096
 	perMachine := int64(2 << 20)
 
@@ -912,6 +990,7 @@ func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, 
 			mls = trace.NewLenientSource(merged)
 			merged = mls
 		}
+		merged = reg.Instrument("server-merge", merged)
 		mergedTape, err := xfer.BuildTape(merged)
 		if err != nil {
 			return fmt.Errorf("cachesim: malformed trace: %v", err)
@@ -943,9 +1022,16 @@ func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, 
 			return err
 		}
 		copy(shared, rs)
+		cachesim.PublishResults(reg, "server.shared", rs...)
 		return nil
 	}); err != nil {
 		return err
+	}
+
+	// Private caches share one Config, so their labels would collide;
+	// the machine name keys them apart.
+	for i, r := range private {
+		cachesim.PublishResults(reg, "server.private."+names[i], r)
 	}
 
 	var splitIOs, splitAccesses int64
@@ -1073,7 +1159,7 @@ func runStatic(w io.Writer, staticSizes []int64, a *analyzer.Analysis) error {
 // paper argues about but never measures: the data a crash destroys.
 // Crash points are sampled across the trace in a single replay per
 // policy (internal/fault), off the same shared tape as every other sweep.
-func runReliability(w io.Writer, tape *xfer.Tape) error {
+func runReliability(w io.Writer, tape *xfer.Tape, reg *obs.Registry) error {
 	const (
 		cacheSize = 2 << 20
 		blockSize = 4096
@@ -1085,6 +1171,7 @@ func runReliability(w io.Writer, tape *xfer.Tape) error {
 	if err != nil {
 		return err
 	}
+	fault.PublishReports(reg, "crash", reps)
 	return report.Reliability(policies, reps, cacheSize, blockSize, len(points)).Render(w)
 }
 

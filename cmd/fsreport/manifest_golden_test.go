@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"bsdtrace/internal/obs"
+)
+
+// manifestGoldenPath is the committed canonical run manifest of the
+// full 8-hour seed-1 report: every stage's event counts, every
+// deterministic counter the pipeline publishes, every histogram's
+// bucket counts. A regression anywhere in the pipeline — generator,
+// merge, repair, tape builder, any cache sweep — moves one of these
+// numbers and names itself in the diff.
+const manifestGoldenPath = "../../docs/manifest-8h-seed1.json"
+
+// goldenManifest runs the report pipeline with an enabled registry and
+// returns the canonical (volatile-fields-stripped) manifest.
+func goldenManifest(t *testing.T, w io.Writer, cfg reportConfig) *obs.Manifest {
+	t.Helper()
+	cfg.reg = obs.NewRegistry()
+	cfg.reg.SetEnabled(true)
+	if err := run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return reportManifest(cfg).Canonical()
+}
+
+// TestManifestGolden regenerates the 8-hour seed-1 manifest and holds
+// its deterministic surface to the committed golden file byte for
+// byte. Regenerate with BSDTRACE_REGEN_MANIFEST=1 after an intentional
+// pipeline change, and review the diff as part of the change.
+func TestManifestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-hour manifest regeneration skipped in -short mode")
+	}
+	m := goldenManifest(t, io.Discard, reportConfig{duration: 8 * time.Hour, seed: 1, ablations: true})
+	got, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("BSDTRACE_REGEN_MANIFEST") == "1" {
+		if err := os.WriteFile(manifestGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", manifestGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(manifestGoldenPath)
+	if err != nil {
+		t.Fatalf("golden manifest: %v (regenerate with BSDTRACE_REGEN_MANIFEST=1)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("manifest drifted from %s at line %d:\n got: %q\nwant: %q",
+				manifestGoldenPath, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("manifest drifted from %s: %d lines generated, %d in golden",
+		manifestGoldenPath, len(gotLines), len(wantLines))
+}
+
+// stripConfig drops the knobs map so manifests from deliberately
+// different configurations (unsharded vs -shards 1) can be compared on
+// their measured surface alone.
+func stripConfig(m *obs.Manifest) *obs.Manifest {
+	c := *m
+	c.Config = nil
+	return &c
+}
+
+// TestManifestShardInvariance: -shards 1 must produce the same
+// canonical manifest — same stage event counts, same counters, same
+// histogram buckets — as unsharded generation. This is the shard
+// determinism contract restated over the full metrics surface, not
+// just the rendered report.
+func TestManifestShardInvariance(t *testing.T) {
+	cfg := reportConfig{duration: 20 * time.Minute, seed: 1, only: "tableVI"}
+	base := goldenManifest(t, io.Discard, cfg)
+	cfg.shards = 1
+	cfg.scale = 1
+	sharded := goldenManifest(t, io.Discard, cfg)
+	a, err := stripConfig(base).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stripConfig(sharded).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-shards 1 changed the canonical manifest relative to unsharded generation:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestManifestRerunDeterminism: two runs at the same (seed, shards)
+// must produce byte-identical canonical manifests even with sharded
+// generation and parallel stage execution — scheduling may reorder the
+// work, never the measurements.
+func TestManifestRerunDeterminism(t *testing.T) {
+	cfg := reportConfig{duration: 20 * time.Minute, seed: 1, only: "tableVI", shards: 2, scale: 1}
+	first := goldenManifest(t, io.Discard, cfg)
+	second := goldenManifest(t, io.Discard, cfg)
+	a, err := first.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identically configured runs produced different canonical manifests")
+	}
+}

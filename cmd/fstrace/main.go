@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"bsdtrace/internal/obs"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
 )
@@ -84,6 +85,8 @@ func run(args []string, stdout io.Writer) error {
 		lenient  = fs.Bool("lenient", false, "repair damaged spill streams on the merge path instead of failing")
 		diurnal  = fs.Bool("diurnal", false, "apply a day/night load cycle (use with -duration 24h or more)")
 		quiet    = fs.Bool("q", false, "suppress the summary")
+		manifest = fs.String("manifest", "", "write the run manifest (config, stage spans, metrics) to this file")
+		progress = fs.Bool("progress", false, "live per-stage progress line on stderr (TTY only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +94,14 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+
+	reg := obs.NewRegistry()
+	reg.SetEnabled(*manifest != "" || *progress)
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, reg)
+	}
+	defer prog.Stop()
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -123,9 +134,18 @@ func run(args []string, stdout io.Writer) error {
 	if len(profiles) == 1 {
 		// Single machine (possibly sharded): generate straight into the
 		// output file.
-		if res, err = workload.GenerateStream(cfg(profiles[0]), w.write); err != nil {
+		name := strings.TrimSpace(profiles[0])
+		sink := w.write
+		var sp *obs.Span
+		if reg.Enabled() {
+			sp = reg.StartSpan("generate/" + name)
+			sink = func(e trace.Event) error { sp.AddOut(1); return w.write(e) }
+		}
+		if res, err = workload.GenerateStream(cfg(profiles[0]), sink); err != nil {
 			return err
 		}
+		sp.End()
+		workload.PublishStats(reg, "kernel."+name, res.KernelStats)
 	} else {
 		// Several machines: each generates into a spill file, then a
 		// k-way merge streams them into the output with identifier
@@ -139,7 +159,7 @@ func run(args []string, stdout io.Writer) error {
 		sources := make([]trace.Source, len(profiles))
 		for i, name := range profiles {
 			path := filepath.Join(spillDir, fmt.Sprintf("m%d.trace", i))
-			if res, err = generateToFile(cfg(name), path); err != nil {
+			if res, err = generateToFile(cfg(name), path, reg); err != nil {
 				return err
 			}
 			sf, err := os.Open(path)
@@ -159,6 +179,7 @@ func run(args []string, stdout io.Writer) error {
 			ls = trace.NewLenientSource(merged)
 			merged = ls
 		}
+		merged = reg.Instrument("merge", merged)
 		for {
 			e, err := merged.Next()
 			if err == io.EOF {
@@ -178,6 +199,7 @@ func run(args []string, stdout io.Writer) error {
 			if st := ls.Stats(); !st.Zero() {
 				fmt.Fprintf(os.Stderr, "fstrace: degraded merge: repaired: %v\n", st)
 			}
+			obs.PublishRepair(reg, "repair.merge", ls.Stats())
 		}
 	}
 
@@ -186,6 +208,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := f.Close(); err != nil {
 		return err
+	}
+
+	if reg.Enabled() {
+		c := w.counts
+		reg.Counter("events.total").Set(c.Total)
+		for k := trace.KindCreate; k <= trace.KindExec; k++ {
+			reg.Counter("events." + k.String()).Set(c.ByKind[k])
+		}
+		if st, err := os.Stat(*out); err == nil {
+			reg.Counter("output.bytes").Set(st.Size())
+		}
+	}
+	if *manifest != "" {
+		m := reg.Manifest(obs.RunInfo{
+			Command: "fstrace",
+			Seed:    *seed,
+			Config: map[string]string{
+				"profile":  *profile,
+				"duration": duration.String(),
+				"scale":    fmt.Sprintf("%g", *scale),
+				"shards":   fmt.Sprintf("%d", *shards),
+				"text":     fmt.Sprintf("%t", *text),
+				"v2":       fmt.Sprintf("%t", *v2),
+				"lenient":  fmt.Sprintf("%t", *lenient),
+				"diurnal":  fmt.Sprintf("%t", *diurnal),
+			},
+		})
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
 	}
 
 	if !*quiet {
@@ -210,18 +262,27 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// generateToFile streams one machine's trace into a binary spill file.
-func generateToFile(cfg workload.Config, path string) (*workload.Result, error) {
+// generateToFile streams one machine's trace into a binary spill file,
+// under a per-profile generation span when observation is on.
+func generateToFile(cfg workload.Config, path string, reg *obs.Registry) (*workload.Result, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	w := trace.NewWriter(f)
-	res, err := workload.GenerateStream(cfg, w.Write)
+	sink := w.Write
+	var sp *obs.Span
+	if reg.Enabled() {
+		sp = reg.StartSpan("generate/" + cfg.Profile)
+		sink = func(e trace.Event) error { sp.AddOut(1); return w.Write(e) }
+	}
+	res, err := workload.GenerateStream(cfg, sink)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	sp.End()
+	workload.PublishStats(reg, "kernel."+cfg.Profile, res.KernelStats)
 	if err := w.Flush(); err != nil {
 		f.Close()
 		return nil, err

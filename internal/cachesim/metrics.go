@@ -1,0 +1,60 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"bsdtrace/internal/obs"
+)
+
+// Label renders a deterministic metric-name identifier for one
+// configuration: block size, cache size, write policy (with its flush
+// interval), plus any non-default replacement or paging setting. Two
+// configs that simulate identically get equal labels, and the label
+// never depends on map order or scheduling, so per-config counters sort
+// stably in the run manifest.
+func (c Config) Label() string {
+	s := fmt.Sprintf("bs%d/cs%d/%v", c.BlockSize, c.CacheSize, c.Write)
+	if c.Write == FlushBack {
+		s += "@" + c.FlushInterval.String()
+	}
+	if c.Replacement != LRU {
+		s += fmt.Sprintf("/%v", c.Replacement)
+	}
+	if c.SimulatePaging {
+		s += "+paging"
+	}
+	if c.NoPurge {
+		s += "+nopurge"
+	}
+	if c.BillAtStart {
+		s += "+billstart"
+	}
+	return s
+}
+
+// PublishResults copies each simulation result's closing counters into
+// the registry as "<prefix>.<config label>.<counter>": logical accesses
+// split by direction, the disk I/O (miss and write-back) traffic, and
+// the purge/eviction lifecycle. All deterministic replay outcomes —
+// they belong to the manifest's canonical surface. Nil results are
+// skipped; no-op when reg is nil or disabled.
+func PublishResults(reg *obs.Registry, prefix string, results ...*Result) {
+	if !reg.Enabled() {
+		return
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		p := prefix + "." + r.Config.Label()
+		reg.Counter(p + ".logical_accesses").Set(r.LogicalAccesses)
+		reg.Counter(p + ".read_accesses").Set(r.ReadAccesses)
+		reg.Counter(p + ".write_accesses").Set(r.WriteAccesses)
+		reg.Counter(p + ".disk_reads").Set(r.DiskReads)
+		reg.Counter(p + ".disk_writes").Set(r.DiskWrites)
+		reg.Counter(p + ".evictions").Set(r.Evictions)
+		reg.Counter(p + ".purged").Set(r.Purged)
+		reg.Counter(p + ".dirty_discarded").Set(r.DirtyDiscarded)
+		reg.Counter(p + ".dirty_at_end").Set(r.DirtyAtEnd)
+	}
+}

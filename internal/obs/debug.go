@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// debugRegistry is the registry the /debug/vars "obs" variable reads.
+// expvar.Publish is once-per-process, so the variable indirects through
+// this pointer and ServeDebug swaps it.
+var debugRegistry atomic.Pointer[Registry]
+
+func init() {
+	expvar.Publish("obs", expvar.Func(func() any {
+		r := debugRegistry.Load()
+		if r == nil {
+			return nil
+		}
+		return r.Manifest(RunInfo{Command: "live"})
+	}))
+}
+
+// ServeDebug starts an HTTP server on addr exposing the stdlib
+// observability surface for live inspection of long runs:
+//
+//	/debug/vars    — expvar, including the full live registry as "obs"
+//	/debug/pprof/  — net/http/pprof profiles (heap, goroutine, CPU, ...)
+//
+// It returns the bound address (useful with ":0") and never blocks; the
+// server runs until the process exits. Long sweeps are exactly when a
+// profile is worth taking, and this endpoint means taking one needs no
+// restart with -cpuprofile.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	debugRegistry.Store(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bsdtrace/internal/trace"
+)
+
+func TestDisabledRegistryIsNoOpFactory(t *testing.T) {
+	for name, reg := range map[string]*Registry{"disabled": NewRegistry(), "nil": nil} {
+		if reg.Enabled() {
+			t.Fatalf("%s registry reports enabled", name)
+		}
+		c := reg.Counter("c")
+		c.Add(5)
+		c.Set(9)
+		if c.Value() != 0 {
+			t.Fatalf("%s registry counter is live", name)
+		}
+		g := reg.Gauge("g")
+		g.Set(7)
+		if g.Value() != 0 {
+			t.Fatalf("%s registry gauge is live", name)
+		}
+		h := reg.Histogram("h", []float64{1})
+		h.Record(3)
+		if h.Count() != 0 {
+			t.Fatalf("%s registry histogram is live", name)
+		}
+		sp := reg.StartSpan("s")
+		sp.AddIn(1)
+		sp.AddOut(1)
+		sp.AddBytes(1)
+		sp.End()
+		if sp.EventsIn() != 0 || sp.Name() != "" {
+			t.Fatalf("%s registry span is live", name)
+		}
+		if spans := reg.Spans(); len(spans) != 0 {
+			t.Fatalf("%s registry recorded spans: %v", name, spans)
+		}
+	}
+}
+
+func TestRegistryMetricsIdentityAndValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	c := reg.Counter("events")
+	c.Add(2)
+	c.Add(3)
+	if reg.Counter("events") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Set(11)
+	if c.Value() != 11 {
+		t.Fatalf("counter after Set = %d, want 11", c.Value())
+	}
+	g := reg.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+	if reg.Histogram("h", []float64{1, 2}) != reg.Histogram("h", []float64{99}) {
+		t.Fatal("same name returned a different histogram")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	sp := reg.StartSpan("stage")
+	sp.AddIn(10)
+	sp.AddOut(7)
+	sp.AddBytes(4096)
+	sp.End()
+	w := sp.Wall()
+	sp.End() // idempotent: wall stays frozen
+	if sp.Wall() != w {
+		t.Fatal("second End moved the frozen wall time")
+	}
+	if sp.EventsIn() != 10 || sp.EventsOut() != 7 || sp.Bytes() != 4096 {
+		t.Fatalf("span totals = %d/%d/%d", sp.EventsIn(), sp.EventsOut(), sp.Bytes())
+	}
+	if sp.Events() != 7 {
+		t.Fatalf("Events() = %d, want events-out when nonzero", sp.Events())
+	}
+	in := reg.StartSpan("input-only")
+	in.AddIn(3)
+	in.End()
+	if in.Events() != 3 {
+		t.Fatalf("Events() = %d, want events-in fallback", in.Events())
+	}
+}
+
+func TestSpansSortedByName(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		reg.StartSpan(n).End()
+	}
+	var names []string
+	for _, s := range reg.Spans() {
+		names = append(names, s.Name())
+	}
+	if strings.Join(names, ",") != "alpha,mid,zeta" {
+		t.Fatalf("Spans() order = %v, want sorted by name", names)
+	}
+}
+
+// fillRegistry performs one fixed sequence of instrumentation; two
+// fills must canonicalize identically.
+func fillRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	sp := reg.StartSpan("stage/a")
+	sp.AddOut(42)
+	sp.AddBytes(1 << 20)
+	sp.End()
+	reg.Counter("events.total").Set(42)
+	reg.Gauge("depth").Set(3)
+	h := reg.Histogram("sizes", ExpBuckets(1, 2, 8))
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i))
+	}
+	return reg
+}
+
+func TestManifestCanonicalDeterminism(t *testing.T) {
+	info := RunInfo{Command: "test", Seed: 7, Config: map[string]string{"k": "v"}}
+	a, err := fillRegistry(t).Manifest(info).Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sleep so the second fill's wall times differ — Canonical must
+	// erase the difference.
+	time.Sleep(2 * time.Millisecond)
+	b, err := fillRegistry(t).Manifest(info).Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical manifests differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestManifestCanonicalStripsVolatile(t *testing.T) {
+	reg := fillRegistry(t)
+	m := reg.Manifest(RunInfo{Command: "test"})
+	if m.Versions.Go == "" {
+		t.Fatal("raw manifest missing toolchain version")
+	}
+	if m.Stages[0].Seconds == 0 {
+		t.Fatal("raw manifest stage missing wall time")
+	}
+	c := m.Canonical()
+	if c.Versions != (VersionInfo{}) {
+		t.Fatal("Canonical kept toolchain versions")
+	}
+	for _, s := range c.Stages {
+		if s.Seconds != 0 || s.EventsPerSec != 0 || s.AllocBytes != 0 || s.Allocs != 0 {
+			t.Fatalf("Canonical kept volatile stage fields: %+v", s)
+		}
+	}
+	for k, h := range c.Histograms {
+		if h.Mean != 0 {
+			t.Fatalf("Canonical kept histogram mean for %s", k)
+		}
+	}
+	// The raw manifest is untouched.
+	if m.Stages[0].Seconds == 0 || m.Versions.Go == "" {
+		t.Fatal("Canonical mutated the raw manifest")
+	}
+	if c.Stages[0].EventsOut != 42 || c.Counters["events.total"] != 42 {
+		t.Fatal("Canonical dropped deterministic fields")
+	}
+}
+
+func TestPublishRepairAndSkip(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	PublishRepair(reg, "repair", trace.RepairStats{Events: 10, Emitted: 9, Dropped: 1})
+	PublishSkip(reg, "skip", trace.SkipStats{Bytes: 64, Records: 2, Segments: 1})
+	if got := reg.Counter("repair.events").Value(); got != 10 {
+		t.Fatalf("repair.events = %d, want 10", got)
+	}
+	if got := reg.Counter("skip.bytes").Value(); got != 64 {
+		t.Fatalf("skip.bytes = %d, want 64", got)
+	}
+	// Disabled: publishing must not create metrics.
+	off := NewRegistry()
+	PublishRepair(off, "repair", trace.RepairStats{Events: 1})
+	off.SetEnabled(true)
+	if m := off.Manifest(RunInfo{}); len(m.Counters) != 0 {
+		t.Fatal("publishing to a disabled registry created counters")
+	}
+}
+
+func TestProgressDrawsAndClears(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	sp := reg.StartSpan("working")
+	sp.AddOut(123)
+	var buf syncBuffer
+	p := startProgress(&buf, reg, time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // safe twice
+	out := buf.String()
+	if !strings.Contains(out, "working") || !strings.Contains(out, "123 events") {
+		t.Fatalf("progress line %q missing stage or count", out)
+	}
+	if !strings.HasSuffix(out, "\r\x1b[K") {
+		t.Fatalf("Stop did not clear the line: %q", out)
+	}
+	var nilP *Progress
+	nilP.Stop() // nil-safe
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the progress goroutine
+// writes while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

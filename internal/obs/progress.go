@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Progress is a live, rate-limited stderr status line: the most recent
+// running stage span with its event count and rate, redrawn in place a
+// few times a second. It exists for the long runs — a scaled fsreport
+// fleet or an fsbench sweep — where silence is indistinguishable from a
+// hang. A nil Progress ignores Stop, so callers never branch on whether
+// progress is on.
+type Progress struct {
+	w        io.Writer
+	reg      *Registry
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	wrote    bool
+}
+
+// StartProgress begins a progress line on f for reg. It returns nil —
+// progress off — when f is not a terminal: a redrawn line is pure noise
+// in a log file or a pipe, so the flag only takes effect interactively.
+func StartProgress(f *os.File, reg *Registry) *Progress {
+	if f == nil || !isTerminal(f) {
+		return nil
+	}
+	return startProgress(f, reg, 250*time.Millisecond)
+}
+
+// startProgress is the testable core: any writer, any interval.
+func startProgress(w io.Writer, reg *Registry, interval time.Duration) *Progress {
+	p := &Progress{
+		w:        w,
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.draw()
+		}
+	}
+}
+
+func (p *Progress) draw() {
+	s := p.reg.lastRunning()
+	if s == nil {
+		return
+	}
+	// \r + erase-to-end redraws in place; no newline until Stop.
+	fmt.Fprintf(p.w, "\r\x1b[K%s: %d events, %.0f/s", s.Name(), s.Events(), s.EventsPerSec())
+	p.wrote = true
+}
+
+// Stop halts the ticker and clears the line. Safe on nil and safe to
+// call more than once.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		if p.wrote {
+			fmt.Fprint(p.w, "\r\x1b[K")
+		}
+	})
+}
+
+// isTerminal reports whether f is a character device (a TTY).
+func isTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}

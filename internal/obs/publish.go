@@ -1,0 +1,32 @@
+package obs
+
+import "bsdtrace/internal/trace"
+
+// PublishRepair copies a RecoverSource's closing repair budget into
+// counters under prefix: the manifest's record of what self-healing
+// ingestion cost a run. The accounting identity Emitted == Events -
+// Dropped + Synthesized survives into the counters, so a manifest
+// reader can reconcile stage event counts against the damage report.
+func PublishRepair(r *Registry, prefix string, st trace.RepairStats) {
+	if !r.Enabled() {
+		return
+	}
+	r.Counter(prefix + ".events").Set(st.Events)
+	r.Counter(prefix + ".emitted").Set(st.Emitted)
+	r.Counter(prefix + ".dropped").Set(st.Dropped)
+	r.Counter(prefix + ".synthesized").Set(st.Synthesized)
+	r.Counter(prefix + ".rewritten").Set(st.Rewritten)
+	r.Counter(prefix + ".est_bytes_lost").Set(st.EstBytesLost)
+}
+
+// PublishSkip copies a Reader's damage-skip accounting into counters
+// under prefix (bytes, records, and segments the framing layer stepped
+// past).
+func PublishSkip(r *Registry, prefix string, sk trace.SkipStats) {
+	if !r.Enabled() {
+		return
+	}
+	r.Counter(prefix + ".bytes").Set(sk.Bytes)
+	r.Counter(prefix + ".records").Set(sk.Records)
+	r.Counter(prefix + ".segments").Set(sk.Segments)
+}

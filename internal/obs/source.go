@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"io"
+
+	"bsdtrace/internal/trace"
+)
+
+// InstrumentedSource wraps a trace.Source in a counting span: every
+// event that flows through increments the span's events-out total, and
+// a clean EOF ends the span, so the span's wall time covers exactly the
+// stage's consumption window. Next adds one predictable branch and one
+// atomic increment per event and never allocates (the overhead guard in
+// source_test.go pins this).
+type InstrumentedSource struct {
+	src  trace.Source
+	span *Span
+}
+
+// Instrument wraps src in an event-counting span registered under name.
+// When the registry is nil or disabled it returns src unchanged — the
+// disabled path adds nothing at all to the pipeline.
+func (r *Registry) Instrument(name string, src trace.Source) trace.Source {
+	if !r.Enabled() {
+		return src
+	}
+	return &InstrumentedSource{src: src, span: r.StartSpan(name)}
+}
+
+// SpanSource wraps src so every event it yields counts into an existing
+// span's events-out total and a clean EOF ends the span. It is
+// Instrument for callers that already hold the stage span (and want,
+// say, AddBytes or AddIn on the same record). Returns src unchanged
+// when sp is nil.
+func SpanSource(sp *Span, src trace.Source) trace.Source {
+	if sp == nil {
+		return src
+	}
+	return &InstrumentedSource{src: src, span: sp}
+}
+
+// Next returns the next event from the wrapped source, counting it.
+func (s *InstrumentedSource) Next() (trace.Event, error) {
+	e, err := s.src.Next()
+	if err == nil {
+		s.span.eventsOut.Add(1)
+	} else if err == io.EOF {
+		s.span.End()
+	}
+	return e, err
+}
+
+// Span returns the span counting this source's events.
+func (s *InstrumentedSource) Span() *Span { return s.span }

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderChart(t *testing.T, c *Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestChartNoData(t *testing.T) {
+	for name, c := range map[string]*Chart{
+		"no series":    {Title: "Void."},
+		"empty series": {Title: "Void.", Series: []Series{{Name: "s"}}},
+		"all zero y":   {Title: "Void.", Series: []Series{{Name: "s", Points: []XY{{1, 0}, {2, 0}}}}},
+		"logx nonpositive x": {Title: "Void.", LogX: true,
+			Series: []Series{{Name: "s", Points: []XY{{-1, 5}, {0, 5}}}}},
+	} {
+		out := renderChart(t, c)
+		if !strings.Contains(out, "(no data)") {
+			t.Errorf("%s: want the (no data) placeholder, got:\n%s", name, out)
+		}
+		if !strings.Contains(out, "Void.") {
+			t.Errorf("%s: placeholder lost the title", name)
+		}
+	}
+}
+
+func TestChartRendersSeriesAndLegend(t *testing.T) {
+	c := &Chart{
+		Title:  "Two lines.",
+		XLabel: "x",
+		YLabel: "y",
+		Width:  32,
+		Height: 8,
+		Series: []Series{
+			{Name: "rise", Points: []XY{{0, 0}, {10, 100}}},
+			{Name: "fall", Points: []XY{{0, 100}, {10, 0}}},
+		},
+	}
+	out := renderChart(t, c)
+	for _, want := range []string{"Two lines.", "* rise", "+ fall", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Plot rows are exactly Height, each Width wide after the axis gutter.
+	var plotRows int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			plotRows++
+			if got := len(line) - i - 1; got != c.Width {
+				t.Fatalf("plot row %d chars wide, want %d: %q", got, c.Width, line)
+			}
+		}
+	}
+	if plotRows != c.Height {
+		t.Fatalf("%d plot rows, want %d:\n%s", plotRows, c.Height, out)
+	}
+}
+
+func TestChartSinglePointAndYMax(t *testing.T) {
+	c := &Chart{Title: "Dot.", YMax: 100, Width: 16, Height: 4,
+		Series: []Series{{Name: "s", Points: []XY{{5, 50}}}}}
+	out := renderChart(t, c)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "100") {
+		t.Fatalf("forced YMax not on the axis:\n%s", out)
+	}
+}
+
+func TestChartLogXDecades(t *testing.T) {
+	c := &Chart{Title: "Log.", LogX: true, Width: 40, Height: 6,
+		XLabel: "bytes",
+		Series: []Series{{Name: "cdf", Points: []XY{{1, 10}, {1000, 90}}}}}
+	out := renderChart(t, c)
+	if !strings.Contains(out, "(log scale)") {
+		t.Fatalf("log-x chart does not announce its scale:\n%s", out)
+	}
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("right axis endpoint missing:\n%s", out)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("s", []XY{{1, 0.25}, {2, 0.5}, {100, 1}}, 10)
+	if len(s.Points) != 2 {
+		t.Fatalf("xCap kept %d points, want 2", len(s.Points))
+	}
+	if s.Points[0].Y != 25 || s.Points[1].Y != 50 {
+		t.Fatalf("fractions not scaled to percent: %+v", s.Points)
+	}
+}

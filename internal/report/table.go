@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled, aligned text table.
@@ -35,11 +36,13 @@ func (t *Table) Render(w io.Writer) error {
 			cols = len(r)
 		}
 	}
+	// Cells are measured in runes, not bytes, so non-ASCII labels (µs,
+	// ±, box-drawing) keep the columns aligned.
 	widths := make([]int, cols)
 	measure := func(r []string) {
 		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -55,7 +58,7 @@ func (t *Table) Render(w io.Writer) error {
 	if t.Title != "" {
 		b.WriteString(t.Title)
 		b.WriteByte('\n')
-		b.WriteString(strings.Repeat("=", min(total, len(t.Title))))
+		b.WriteString(strings.Repeat("=", min(total, utf8.RuneCountInString(t.Title))))
 		b.WriteByte('\n')
 	}
 	writeRow := func(r []string) {
@@ -64,10 +67,16 @@ func (t *Table) Render(w io.Writer) error {
 			if i < len(r) {
 				c = r[i]
 			}
+			// Pad by rune count manually; fmt's %*s pads by bytes and
+			// would misalign multi-byte cells.
+			pad := widths[i] - utf8.RuneCountInString(c)
 			if i == 0 {
-				fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad+2))
 			} else {
-				fmt.Fprintf(&b, "%*s  ", widths[i], c)
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+				b.WriteString("  ")
 			}
 		}
 		b.WriteByte('\n')

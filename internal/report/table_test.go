@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func render(t *testing.T, tb *Table) string {
+	t.Helper()
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	out := render(t, &Table{
+		Title:  "Empty.",
+		Header: []string{"A", "B"},
+	})
+	if !strings.Contains(out, "Empty.") || !strings.Contains(out, "A") {
+		t.Fatalf("empty table lost its title or header:\n%s", out)
+	}
+	// No header, no rows, no title: still terminates with the blank
+	// separator line, never panics.
+	if got := render(t, &Table{}); got != "\n" {
+		t.Fatalf("zero-value table rendered %q, want a single blank line", got)
+	}
+}
+
+func TestTableRowWiderThanHeader(t *testing.T) {
+	tb := &Table{Header: []string{"only"}}
+	tb.AddRow("a", "b", "c")
+	tb.AddRow("d")
+	out := render(t, tb)
+	for _, cell := range []string{"a", "b", "c", "d"} {
+		if !strings.Contains(out, cell) {
+			t.Fatalf("overflow row cell %q missing:\n%s", cell, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + rule + 2 rows:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellWidthOverflow(t *testing.T) {
+	wide := strings.Repeat("x", 120)
+	tb := &Table{Header: []string{"k", "v"}}
+	tb.AddRow("a", wide)
+	tb.AddRow("b", "1")
+	out := render(t, tb)
+	lines := strings.Split(out, "\n")
+	// Both data rows end at the same column: the wide cell set the width.
+	if utf8.RuneCountInString(lines[2]) != utf8.RuneCountInString(lines[3]) {
+		t.Fatalf("rows misaligned under a %d-rune cell:\n%s", 120, out)
+	}
+	if !strings.Contains(out, wide) {
+		t.Fatal("wide cell truncated")
+	}
+}
+
+// TestTableNonASCIIAlignment pins the rune-width contract: multi-byte
+// labels (µs, ±, Greek) occupy their rune count, not their byte count,
+// so every row of a column grid ends at the same screen column.
+func TestTableNonASCIIAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "Latency (µs ± σ).",
+		Header: []string{"Stage", "Latency"},
+	}
+	tb.AddRow("αβγδε", "12 µs")
+	tb.AddRow("ascii", "34 s")
+	out := render(t, tb)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// lines: title, underline, header, rule, row, row.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	header, row1, row2 := lines[2], lines[4], lines[5]
+	w := utf8.RuneCountInString(header)
+	if utf8.RuneCountInString(row1) != w || utf8.RuneCountInString(row2) != w {
+		t.Fatalf("non-ASCII rows misaligned (rune widths %d/%d/%d):\n%s",
+			w, utf8.RuneCountInString(row1), utf8.RuneCountInString(row2), out)
+	}
+	// "αβγδε" and "ascii" are both 5 runes: their second columns must
+	// start at the same rune offset.
+	if strings.IndexRune(row1, '1') == -1 || row1[:strings.IndexRune(row1, '1')] == row1 {
+		t.Fatalf("row %q lost its value cell", row1)
+	}
+	// The underline is capped at min(table width, title length) — both
+	// measured in runes, not bytes (in bytes the title here is 21).
+	want := utf8.RuneCountInString(lines[0])
+	if w < want {
+		want = w
+	}
+	if got := utf8.RuneCountInString(lines[1]); got != want {
+		t.Fatalf("title underline is %d runes, want %d:\n%s", got, want, out)
+	}
+}
+
+func TestCountFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{{0, "0"}, {999, "999"}, {1000, "1,000"}, {1234567, "1,234,567"}, {-42, "-42"}} {
+		if got := Count(tc.n); got != tc.want {
+			t.Errorf("Count(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSizeFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{
+		{390 << 10, "390 kbytes"},
+		{2 << 20, "2 Mbytes"},
+		{3<<20 + 512<<10, "3.5 Mbytes"},
+		{0, "0 kbytes"},
+	} {
+		if got := Size(tc.n); got != tc.want {
+			t.Errorf("Size(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"bsdtrace/internal/kernel"
+	"bsdtrace/internal/obs"
+)
+
+// PublishStats copies a generation run's kernel system-call counters
+// into the registry under prefix. The kernel's accounting is driven by
+// the same seeded simulation that emits the trace, so every value is
+// deterministic and belongs to the manifest's canonical surface. No-op
+// when reg is nil or disabled.
+func PublishStats(reg *obs.Registry, prefix string, st kernel.Stats) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Counter(prefix + ".opens").Set(st.Opens)
+	reg.Counter(prefix + ".creates").Set(st.Creates)
+	reg.Counter(prefix + ".closes").Set(st.Closes)
+	reg.Counter(prefix + ".seeks").Set(st.Seeks)
+	reg.Counter(prefix + ".unlinks").Set(st.Unlinks)
+	reg.Counter(prefix + ".truncates").Set(st.Truncates)
+	reg.Counter(prefix + ".execs").Set(st.Execs)
+	reg.Counter(prefix + ".bytes_read").Set(st.BytesRead)
+	reg.Counter(prefix + ".bytes_written").Set(st.BytesWritten)
+}
