@@ -286,38 +286,6 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 	return r, f, nil
 }
 
-// ingest wraps a spill-file reader for one streaming pass: strict mode
-// returns the reader unchanged, lenient mode adds the self-healing
-// repair layer (trace.LenientSource) so damaged spills are repaired in
-// flight instead of aborting the report.
-func ingest(r *trace.Reader, lenient bool) (trace.Source, *trace.LenientSource) {
-	if !lenient {
-		return r, nil
-	}
-	ls := trace.NewLenientSource(r)
-	return ls, ls
-}
-
-// ingestDamage enforces the partial-ingest exit contract after a pass:
-// strict runs fail on any skipped bytes, lenient runs print the damage
-// budget to stderr and continue.
-func ingestDamage(what string, r *trace.Reader, ls *trace.LenientSource) error {
-	sk := r.Skipped()
-	if ls == nil {
-		if !sk.Zero() {
-			return fmt.Errorf("%s: partial ingest (%v); rerun with -lenient to repair and continue", what, sk)
-		}
-		return nil
-	}
-	if trunc := ls.Truncated(); trunc != nil {
-		fmt.Fprintf(os.Stderr, "fsreport: %s: stream truncated at decode error: %v\n", what, trunc)
-	}
-	if st := ls.Stats(); !sk.Zero() || !st.Zero() {
-		fmt.Fprintf(os.Stderr, "fsreport: %s: degraded ingest: %v; repaired: %v\n", what, sk, st)
-	}
-	return nil
-}
-
 // runStability regenerates the A5 workload with n different seeds on
 // parallel workers and reports the spread of the headline metrics: the
 // reproduction's shapes are properties of the workload model, not of one
@@ -569,37 +537,7 @@ func run(w io.Writer, cfg reportConfig) error {
 	}
 	fmt.Fprintln(w)
 
-	// Generate each machine's trace exactly once, streamed into a spill
-	// file; every consumer below re-reads the spill as a stream.
 	names := []string{"A5", "E3", "C4"}
-	spillDir, err := os.MkdirTemp("", "fsreport")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(spillDir)
-	paths := make([]string, len(names))
-	statics := make([][]int64, len(names))
-	if err := parallel(len(names), func(i int) error {
-		paths[i] = filepath.Join(spillDir, names[i]+".trace")
-		res, err := generateSpill(workload.Config{
-			Profile:   names[i],
-			Seed:      cfg.seed,
-			Duration:  trace.Time(cfg.duration.Milliseconds()),
-			UserScale: cfg.scale,
-			Shards:    cfg.shards,
-		}, paths[i], cfg.reg)
-		if err != nil {
-			return err
-		}
-		statics[i] = res.StaticSizes
-		if cfg.reg.Enabled() {
-			cfg.reg.Counter("static." + names[i] + ".files").Set(int64(len(res.StaticSizes)))
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	a5Static := statics[0]
 
 	// Which Section-6 sweeps do the requested items need? (-data exports
 	// them all.)
@@ -611,57 +549,219 @@ func run(w io.Writer, cfg reportConfig) error {
 	needPaging := cfg.dataDir != "" || want("fig7")
 	needTape := needPolicy || needBlock || needPaging ||
 		want("workingset") || want("reliability") || cfg.ablations
+	needMachineTapes := want("server") || want("diskless")
+	needFrag := want("fragmentation")
+	needMerge := want("server")
 
-	// Analyze the three machines on parallel workers, one streaming pass
-	// each; A5's pass simultaneously builds the shared transfer tape, so
-	// its spill file is read once for both.
+	// Generate each machine's trace exactly once and tee it to every
+	// consumer concurrently: the reference-pattern analyzer (every
+	// machine, with A5's pass also building the shared transfer tape),
+	// the per-machine tape builders, the fragmentation population scan,
+	// and the merged-server leg all read the same generation through
+	// bounded channels of shared event batches (trace.Fanout). Nothing
+	// is spilled to disk and nothing is ever generated twice; a fanout's
+	// bounded channels throttle the generator to its slowest consumer,
+	// so memory stays O(consumers * batch) no matter the scale. Every
+	// subscriber is drained by its own goroutine — that, not worker
+	// count, is what makes the tee deadlock-free.
+	statics := make([][]int64, len(names))
 	analyses := make([]*analyzer.Analysis, len(names))
 	var a5Tape *xfer.Tape
-	if err := parallel(len(names), func(i int) error {
-		r, f, err := openTrace(paths[i])
-		if err != nil {
-			return err
+	var machineTapes []*xfer.Tape
+	var mergedTape *xfer.Tape
+	var fragRows []ffs.WasteSweepRow
+	if needMachineTapes {
+		machineTapes = make([]*xfer.Tape, len(names))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	spawn := func(job func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := job(); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	// wrap applies the lenient repair layer when asked. Generated
+	// streams are pristine, so the repair pass is a provable no-op; it
+	// runs anyway so a -lenient report exercises exactly the ingestion
+	// stack a damaged-trace rerun would use.
+	wrap := func(src trace.Source) trace.Source {
+		if cfg.lenient {
+			return trace.NewLenientSource(src)
 		}
-		defer f.Close()
-		src, ls := ingest(r, cfg.lenient)
-		src = cfg.reg.Instrument("analyze/"+names[i], src)
-		s := analyzer.NewStream(analyzer.Options{})
-		var tb *xfer.TapeBuilder
-		if i == 0 && needTape {
-			tb = xfer.NewTapeBuilder()
+		return src
+	}
+
+	mergeLegs := make([]trace.Source, len(names))
+	for i := range names {
+		subs := 1 // the analyzer
+		if needMachineTapes && (i > 0 || !needTape) {
+			subs++
 		}
-		for {
-			e, err := src.Next()
-			if err == io.EOF {
-				break
+		if needFrag && i == 0 {
+			subs++
+		}
+		if needMerge {
+			subs++
+		}
+		f := trace.NewFanout(subs)
+		next := 0
+		takeSub := func() *trace.FanoutSub { s := f.Source(next); next++; return s }
+
+		// The generator: one machine's full simulation, pushed into the
+		// tee. All machines generate concurrently regardless of
+		// GOMAXPROCS — consumers block on channels, not on workers.
+		i := i
+		spawn(func() error {
+			sink := workload.Sink(f.Write)
+			var sp *obs.Span
+			if cfg.reg.Enabled() {
+				sp = cfg.reg.StartSpan("generate/" + names[i])
+				sink = func(e trace.Event) error { sp.AddOut(1); return f.Write(e) }
+			}
+			res, err := workload.GenerateStream(workload.Config{
+				Profile:   names[i],
+				Seed:      cfg.seed,
+				Duration:  trace.Time(cfg.duration.Milliseconds()),
+				UserScale: cfg.scale,
+				Shards:    cfg.shards,
+			}, sink)
+			if err == trace.ErrFanoutDone {
+				// Every consumer stopped early (each has already
+				// reported its own error); an abandoned generation is
+				// not itself a failure.
+				err = nil
+			}
+			f.Close(err)
+			if sp != nil {
+				sp.End()
 			}
 			if err != nil {
 				return err
 			}
-			s.Feed(e)
-			if tb != nil {
-				tb.Add(e)
+			statics[i] = res.StaticSizes
+			if cfg.reg.Enabled() {
+				cfg.reg.Counter("static." + names[i] + ".files").Set(int64(len(res.StaticSizes)))
 			}
+			workload.PublishStats(cfg.reg, "kernel."+names[i], res.KernelStats)
+			return nil
+		})
+
+		// The analyzer consumer; A5's builds the shared tape in the
+		// same pass.
+		analyzeSub := takeSub()
+		spawn(func() error {
+			defer analyzeSub.Cancel()
+			src := cfg.reg.Instrument("analyze/"+names[i], wrap(analyzeSub))
+			s := analyzer.NewStream(analyzer.Options{})
+			var tb *xfer.TapeBuilder
+			if i == 0 && needTape {
+				tb = xfer.NewTapeBuilder()
+			}
+			buf := trace.GetBatch()
+			defer trace.PutBatch(buf)
+			for {
+				n, err := trace.ReadBatch(src, buf)
+				if n == 0 {
+					if err == io.EOF {
+						break
+					}
+					return err
+				}
+				for _, e := range buf[:n] {
+					s.Feed(e)
+					if tb != nil {
+						tb.Add(e)
+					}
+				}
+			}
+			analyses[i] = s.Finish()
+			if tb != nil {
+				var err error
+				if a5Tape, err = tb.Finish(); err != nil {
+					return fmt.Errorf("cachesim: malformed trace: %v", err)
+				}
+				a5Tape.PublishMetrics(cfg.reg, "tape.A5")
+			}
+			return nil
+		})
+
+		// The standalone tape consumer, for machines whose analyzer pass
+		// does not already build one.
+		if needMachineTapes && (i > 0 || !needTape) {
+			tapeSub := takeSub()
+			spawn(func() error {
+				defer tapeSub.Cancel()
+				t, err := xfer.BuildTape(wrap(tapeSub))
+				if err != nil {
+					return fmt.Errorf("cachesim: malformed trace: %v", err)
+				}
+				machineTapes[i] = t
+				return nil
+			})
 		}
-		if err := ingestDamage(names[i]+" analysis", r, ls); err != nil {
-			return err
+
+		// The fragmentation consumer extracts A5's file-population
+		// history during the pass and replays it against each disk
+		// geometry after its stream ends.
+		if needFrag && i == 0 {
+			fragSub := takeSub()
+			spawn(func() error {
+				defer fragSub.Cancel()
+				rows, err := ffs.WasteSweepSource(wrap(fragSub),
+					[]int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
+				if err != nil {
+					return err
+				}
+				fragRows = rows
+				return nil
+			})
 		}
-		obs.PublishSkip(cfg.reg, "skip."+names[i], r.Skipped())
-		if ls != nil {
-			obs.PublishRepair(cfg.reg, "repair."+names[i], ls.Stats())
+
+		if needMerge {
+			mergeLegs[i] = takeSub()
 		}
-		analyses[i] = s.Finish()
-		if tb != nil {
-			if a5Tape, err = tb.Finish(); err != nil {
+	}
+
+	// The merged-server consumer: a k-way merge over one leg of each
+	// machine's tee, feeding the server tape builder — the same merge a
+	// set of on-disk machine traces would get, without the disks.
+	if needMerge {
+		spawn(func() error {
+			for _, leg := range mergeLegs {
+				defer leg.(*trace.FanoutSub).Cancel()
+			}
+			merged := cfg.reg.Instrument("server-merge", wrap(trace.NewMergeSource(mergeLegs...)))
+			t, err := xfer.BuildTape(merged)
+			if err != nil {
 				return fmt.Errorf("cachesim: malformed trace: %v", err)
 			}
-			a5Tape.PublishMetrics(cfg.reg, "tape.A5")
-		}
-		return nil
-	}); err != nil {
-		return err
+			mergedTape = t
+			return nil
+		})
 	}
+
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if needMachineTapes && needTape {
+		machineTapes[0] = a5Tape
+	}
+	a5Static := statics[0]
 	tr := report.Traces{Names: names, Analyses: analyses}
+	var err error
 
 	var policy [][]*cachesim.Result
 	var block *cachesim.BlockSizeSweepResult
@@ -786,41 +886,15 @@ func run(w io.Writer, cfg reportConfig) error {
 		}
 	}
 	if want("fragmentation") {
-		if err := runFragmentation(w, paths[0], cfg.lenient); err != nil {
+		if err := runFragmentation(w, fragRows); err != nil {
 			return err
 		}
 	}
 
-	// The server and diskless sections replay all three machines; they
-	// share one tape per machine (A5's is the sweep tape), each built by
-	// streaming its spill file.
-	var machineTapes []*xfer.Tape
-	if want("server") || want("diskless") {
-		machineTapes = make([]*xfer.Tape, len(names))
-		machineTapes[0] = a5Tape
-		if err := parallel(len(names), func(i int) error {
-			if machineTapes[i] != nil {
-				return nil
-			}
-			r, f, err := openTrace(paths[i])
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			src, ls := ingest(r, cfg.lenient)
-			if machineTapes[i], err = xfer.BuildTape(src); err != nil {
-				if sk := r.Skipped(); !cfg.lenient && !sk.Zero() {
-					return fmt.Errorf("%s tape: malformed trace after partial ingest (%v): %v; rerun with -lenient to repair and continue", names[i], sk, err)
-				}
-				return fmt.Errorf("cachesim: malformed trace: %v", err)
-			}
-			return ingestDamage(names[i]+" tape", r, ls)
-		}); err != nil {
-			return err
-		}
-	}
+	// The server and diskless sections replay all three machines off the
+	// tapes the fan-out pass already built (A5's is the sweep tape).
 	if want("server") {
-		if err := runServer(w, names, paths, machineTapes, cfg.lenient, cfg.reg); err != nil {
+		if err := runServer(w, names, machineTapes, mergedTape, cfg.reg); err != nil {
 			return err
 		}
 	}
@@ -905,22 +979,10 @@ func runMetadata(w io.Writer, duration time.Duration, seed int64, scale float64,
 }
 
 // runFragmentation quantifies the paper's §6.3 remark: large blocks waste
-// disk space on small files, and FFS fragments recover it. The file
-// population is extracted in one streaming pass over the spill file.
-func runFragmentation(w io.Writer, path string, lenient bool) error {
-	r, f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	src, ls := ingest(r, lenient)
-	rows, err := ffs.WasteSweepSource(src, []int64{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10})
-	if err != nil {
-		return err
-	}
-	if err := ingestDamage("fragmentation", r, ls); err != nil {
-		return err
-	}
+// disk space on small files, and FFS fragments recover it. The rows were
+// computed by the fan-out pass's fragmentation consumer, which extracted
+// the file population while the A5 trace was generated.
+func runFragmentation(w io.Writer, rows []ffs.WasteSweepRow) error {
 	t := &report.Table{
 		Title:  "Disk space waste vs. block size (paper §6.3), A5 file population.",
 		Header: []string{"Block Size", "Waste, whole blocks only", "Waste, with FFS fragments"},
@@ -939,10 +1001,10 @@ func runFragmentation(w io.Writer, path string, lenient bool) error {
 // three machines' traces are merged onto one shared file server, and a
 // single server cache is compared against per-machine caches of the same
 // total memory. Statistical multiplexing — machines are bursty at
-// different moments — is the shared cache's advantage. The merged trace
-// is never materialized: a k-way merge over the three spill-file readers
-// feeds the tape builder directly.
-func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, lenient bool, reg *obs.Registry) error {
+// different moments — is the shared cache's advantage. The merged tape
+// was built by the fan-out pass's merge consumer: a k-way merge over one
+// live leg of each machine's generation, never materialized.
+func runServer(w io.Writer, names []string, tapes []*xfer.Tape, mergedTape *xfer.Tape, reg *obs.Registry) error {
 	const blockSize = 4096
 	perMachine := int64(2 << 20)
 
@@ -972,46 +1034,6 @@ func runServer(w io.Writer, names []string, paths []string, tapes []*xfer.Tape, 
 			}
 			private[i] = r
 			return nil
-		}
-		sources := make([]trace.Source, len(paths))
-		readers := make([]*trace.Reader, len(paths))
-		for j, path := range paths {
-			r, f, err := openTrace(path)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			sources[j] = r
-			readers[j] = r
-		}
-		var merged trace.Source = trace.NewMergeSource(sources...)
-		var mls *trace.LenientSource
-		if lenient {
-			mls = trace.NewLenientSource(merged)
-			merged = mls
-		}
-		merged = reg.Instrument("server-merge", merged)
-		mergedTape, err := xfer.BuildTape(merged)
-		if err != nil {
-			return fmt.Errorf("cachesim: malformed trace: %v", err)
-		}
-		for j, rr := range readers {
-			sk := rr.Skipped()
-			if sk.Zero() {
-				continue
-			}
-			if !lenient {
-				return fmt.Errorf("server merge %s: partial ingest (%v); rerun with -lenient to repair and continue", names[j], sk)
-			}
-			fmt.Fprintf(os.Stderr, "fsreport: server merge %s: degraded ingest: %v\n", names[j], sk)
-		}
-		if mls != nil {
-			if trunc := mls.Truncated(); trunc != nil {
-				fmt.Fprintf(os.Stderr, "fsreport: server merge: stream truncated at decode error: %v\n", trunc)
-			}
-			if st := mls.Stats(); !st.Zero() {
-				fmt.Fprintf(os.Stderr, "fsreport: server merge: repaired: %v\n", st)
-			}
 		}
 		cfgs := make([]cachesim.Config, len(sharedSizes))
 		for j, cs := range sharedSizes {

@@ -560,15 +560,19 @@ func Analyze(events []trace.Event, opts Options) *Analysis {
 // files (*trace.Reader is a Source) and merged shard streams.
 func AnalyzeSource(src trace.Source, opts Options) (*Analysis, error) {
 	s := NewStream(opts)
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
 	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+		n, err := trace.ReadBatch(src, buf)
+		if n == 0 {
+			if err == io.EOF {
+				break
+			}
 			return nil, err
 		}
-		s.Feed(e)
+		for _, e := range buf[:n] {
+			s.Feed(e)
+		}
 	}
 	return s.Finish(), nil
 }

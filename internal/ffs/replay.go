@@ -60,14 +60,7 @@ func populationOps(src trace.Source) ([]popOp, error) {
 		}
 		place(o.File, o.SizeAtClose)
 	}
-	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
+	feed := func(e trace.Event) {
 		switch e.Kind {
 		case trace.KindOpen:
 			// First sight of a pre-existing file: allocate it.
@@ -85,6 +78,20 @@ func populationOps(src trace.Source) ([]popOp, error) {
 			}
 		}
 		sc.Feed(e)
+	}
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
+	for {
+		n, err := trace.ReadBatch(src, buf)
+		if n == 0 {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		for _, e := range buf[:n] {
+			feed(e)
+		}
 	}
 	sc.Finish()
 	if errs := sc.Errs(); len(errs) > 0 {

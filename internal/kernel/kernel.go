@@ -99,18 +99,20 @@ func (k *Kernel) record(e trace.Event) {
 
 // Proc is a simulated process: a user identity plus a file descriptor
 // table. Processes are cheap; workloads create one per simulated program
-// run.
+// run. Descriptors are dense small integers, so the table is a slice
+// indexed by fd (nil = closed) rather than a map — processes are created
+// at program-run rates and a map would cost an allocation each.
 type Proc struct {
-	k      *Kernel
-	pid    int
-	user   trace.UserID
-	fds    map[int]*OpenFile
-	nextFD int
+	k    *Kernel
+	pid  int
+	user trace.UserID
+	fds  []*OpenFile
+	open int
 }
 
 // NewProc creates a process owned by the given user.
 func (k *Kernel) NewProc(user trace.UserID) *Proc {
-	p := &Proc{k: k, pid: k.nextPID, user: user, fds: make(map[int]*OpenFile)}
+	p := &Proc{k: k, pid: k.nextPID, user: user}
 	k.nextPID++
 	return p
 }
@@ -140,18 +142,16 @@ func (f *OpenFile) Pos() int64 { return f.pos }
 func (f *OpenFile) Inode() *vfs.Inode { return f.inode }
 
 func (p *Proc) install(of *OpenFile) int {
-	fd := p.nextFD
-	p.nextFD++
-	p.fds[fd] = of
-	return fd
+	p.fds = append(p.fds, of)
+	p.open++
+	return len(p.fds) - 1
 }
 
 func (p *Proc) lookupFD(fd int) (*OpenFile, error) {
-	of, ok := p.fds[fd]
-	if !ok {
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
 	}
-	return of, nil
+	return p.fds[fd], nil
 }
 
 // Open opens an existing file for access in the given mode and returns a
@@ -210,7 +210,8 @@ func (p *Proc) Close(fd int) error {
 	if err != nil {
 		return err
 	}
-	delete(p.fds, fd)
+	p.fds[fd] = nil
+	p.open--
 	of.closed = true
 	if of.written {
 		p.k.metaInodeUpdate()
@@ -223,18 +224,20 @@ func (p *Proc) Close(fd int) error {
 	return nil
 }
 
-// CloseAll closes every open descriptor of the process, as process exit
-// does. It is how workloads guarantee no descriptors leak at the end of a
-// program run.
+// CloseAll closes every open descriptor of the process in fd order, as
+// process exit does. It is how workloads guarantee no descriptors leak at
+// the end of a program run.
 func (p *Proc) CloseAll() {
-	for fd := range p.fds {
-		// Close never fails for a live fd; errors are impossible here.
-		p.Close(fd)
+	for fd, of := range p.fds {
+		if of != nil {
+			// Close never fails for a live fd; errors are impossible here.
+			p.Close(fd)
+		}
 	}
 }
 
 // OpenFDs returns the number of open descriptors.
-func (p *Proc) OpenFDs() int { return len(p.fds) }
+func (p *Proc) OpenFDs() int { return p.open }
 
 // Read advances the access position by up to n bytes, stopping at end of
 // file, and returns the number of bytes read. No trace event is generated;

@@ -99,6 +99,36 @@ func TestSpanLifecycle(t *testing.T) {
 	}
 }
 
+func TestSpanAllocsPerEvent(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	sp := reg.StartSpan("alloc-stage")
+	if got := sp.AllocsPerEvent(); got != 0 {
+		t.Fatalf("AllocsPerEvent before any events = %v, want 0", got)
+	}
+	sp.AddOut(100)
+	sink := make([][]byte, 0, 50)
+	for i := 0; i < 50; i++ {
+		sink = append(sink, make([]byte, 64))
+	}
+	_ = sink
+	if got := sp.AllocsPerEvent(); got <= 0 {
+		t.Fatalf("live AllocsPerEvent = %v, want > 0 after allocating", got)
+	}
+	sp.End()
+	frozen := sp.AllocsPerEvent()
+	if frozen <= 0 {
+		t.Fatalf("frozen AllocsPerEvent = %v, want > 0", frozen)
+	}
+	if again := sp.AllocsPerEvent(); again != frozen {
+		t.Fatalf("frozen AllocsPerEvent moved: %v then %v", frozen, again)
+	}
+	var nilSpan *Span
+	if nilSpan.AllocsPerEvent() != 0 {
+		t.Fatal("nil span AllocsPerEvent != 0")
+	}
+}
+
 func TestSpansSortedByName(t *testing.T) {
 	reg := NewRegistry()
 	reg.SetEnabled(true)

@@ -68,7 +68,8 @@ func (p *Progress) draw() {
 		return
 	}
 	// \r + erase-to-end redraws in place; no newline until Stop.
-	fmt.Fprintf(p.w, "\r\x1b[K%s: %d events, %.0f/s", s.Name(), s.Events(), s.EventsPerSec())
+	fmt.Fprintf(p.w, "\r\x1b[K%s: %d events, %.0f/s, %.1f allocs/event",
+		s.Name(), s.Events(), s.EventsPerSec(), s.AllocsPerEvent())
 	p.wrote = true
 }
 

@@ -169,6 +169,33 @@ func (s *Span) EventsPerSec() float64 {
 	return float64(s.Events()) / secs
 }
 
+// AllocsPerEvent returns the stage's heap allocations per headline
+// event — the per-event efficiency gauge the batched hot paths are
+// tuned against. After End it uses the frozen deltas; while the span
+// runs it reads live process-wide counters, so for overlapping stages
+// the live number is an attribution approximation, like the deltas
+// themselves. Returns 0 before any events flow.
+func (s *Span) AllocsPerEvent() float64 {
+	if s == nil {
+		return 0
+	}
+	events := s.Events()
+	if events == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	ended, frozen := s.ended, s.allocs
+	start := s.startMallocs
+	s.mu.Unlock()
+	allocs := frozen
+	if !ended {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs = int64(ms.Mallocs - start)
+	}
+	return float64(allocs) / float64(events)
+}
+
 // running reports whether the span is still open.
 func (s *Span) running() bool {
 	if s == nil {

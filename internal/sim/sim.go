@@ -6,15 +6,13 @@
 package sim
 
 import (
-	"container/heap"
-
 	"bsdtrace/internal/trace"
 )
 
 // Engine is a single-goroutine discrete-event scheduler over virtual time.
 type Engine struct {
 	now   trace.Time
-	queue eventQueue
+	queue []scheduled
 	seq   uint64
 }
 
@@ -24,24 +22,69 @@ type scheduled struct {
 	fn  func()
 }
 
-type eventQueue []scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the queue's strict total order: time, then scheduling order.
+// Keys are unique (seq never repeats), so the pop sequence is a pure
+// function of the pushes regardless of the heap's internal layout.
+func (a scheduled) before(b scheduled) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(scheduled)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = scheduled{}
-	*q = old[:n-1]
-	return it
+
+// The queue is a hand-rolled 4-ary min-heap rather than container/heap:
+// the stdlib interface boxes every element through `any` on Push and Pop,
+// which at generation rates costs one allocation per scheduled event —
+// the single largest allocation source in the whole pipeline before it
+// was removed. The 4-way branching halves the tree depth of the pop-heavy
+// workload (every simulated event is one push and one pop) and keeps
+// sibling comparisons inside one cache line of the slice.
+
+func (e *Engine) push(it scheduled) {
+	q := append(e.queue, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+func (e *Engine) pop() scheduled {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = scheduled{} // release the closure
+	q = q[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		least := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(q[least]) {
+				least = c
+			}
+		}
+		if !q[least].before(q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	e.queue = q
+	return top
 }
 
 // New creates an engine with the clock at zero.
@@ -60,7 +103,7 @@ func (e *Engine) At(t trace.Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	heap.Push(&e.queue, scheduled{at: t, seq: e.seq, fn: fn})
+	e.push(scheduled{at: t, seq: e.seq, fn: fn})
 	e.seq++
 }
 
@@ -95,7 +138,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(scheduled)
+	it := e.pop()
 	e.now = it.at
 	it.fn()
 	return true

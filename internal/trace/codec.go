@@ -213,6 +213,25 @@ type Reader struct {
 	segPos int
 	skip   SkipStats
 	eof    bool
+
+	// pendErr is a stream-end or decode error encountered while a
+	// NextBatch call had already decoded events: the partial batch went
+	// out clean and the error waits here for the following call.
+	pendErr error
+	// fail is the reader's terminal non-EOF error. Once set, every
+	// further call repeats it: a stream that failed to decode must
+	// never be mistaken for one that ended cleanly, no matter how many
+	// times a consumer retries.
+	fail error
+}
+
+// fatal records a non-EOF error as the reader's sticky terminal state
+// and passes err through either way.
+func (r *Reader) fatal(err error) error {
+	if err != nil && err != io.EOF {
+		r.fail = err
+	}
+	return err
 }
 
 // SkipStats reports what a self-healing version-2 reader could not turn
@@ -296,8 +315,17 @@ func (r *Reader) Skipped() SkipStats { return r.skip }
 // truncation mid-record is reported as io.ErrUnexpectedEOF. Decode
 // errors carry the failing record's index and byte offset.
 func (r *Reader) Next() (Event, error) {
+	if r.fail != nil {
+		return Event{}, r.fail
+	}
+	if r.pendErr != nil {
+		err := r.pendErr
+		r.pendErr = nil
+		return Event{}, r.fatal(err)
+	}
 	if r.version == Version2 {
-		return r.nextV2()
+		e, err := r.nextV2()
+		return e, r.fatal(err)
 	}
 	recStart := r.r.off
 	kindByte, err := r.r.ReadByte()
@@ -305,11 +333,11 @@ func (r *Reader) Next() (Event, error) {
 		if err == io.EOF {
 			return Event{}, io.EOF
 		}
-		return Event{}, r.recordErr(recStart, err)
+		return Event{}, r.fatal(r.recordErr(recStart, err))
 	}
 	e, err := r.decodeBody(kindByte)
 	if err != nil {
-		return Event{}, r.recordErr(recStart, err)
+		return Event{}, r.fatal(r.recordErr(recStart, err))
 	}
 	r.index++
 	return e, nil

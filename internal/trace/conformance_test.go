@@ -1,0 +1,179 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/trace/sourcetest"
+)
+
+// wellFormedTrace builds a valid event stream — times strictly
+// increasing, every close matching a live open, every file introduced
+// before it is referenced — so the repair sources are exact no-ops
+// over it and every source implementation can share one `want`.
+func wellFormedTrace(n int) []trace.Event {
+	var events []trace.Event
+	t := trace.Time(0)
+	for i := 0; i < n; i++ {
+		id := trace.OpenID(i + 1)
+		file := trace.FileID(i + 1)
+		user := trace.UserID(i%3 + 1)
+		t += 10
+		events = append(events, trace.Event{Time: t, Kind: trace.KindCreate,
+			OpenID: id, File: file, User: user, Mode: trace.WriteOnly})
+		t += 10
+		events = append(events, trace.Event{Time: t, Kind: trace.KindClose,
+			OpenID: id, NewPos: int64(512 * (i + 1))})
+		t += 10
+		events = append(events, trace.Event{Time: t, Kind: trace.KindOpen,
+			OpenID: id, File: file, User: user, Mode: trace.ReadOnly, Size: int64(512 * (i + 1))})
+		t += 10
+		events = append(events, trace.Event{Time: t, Kind: trace.KindClose,
+			OpenID: id, NewPos: int64(512 * (i + 1))})
+	}
+	return events
+}
+
+func encode(t *testing.T, events []trace.Event, v2 bool, interval int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if v2 {
+		w = trace.NewWriterV2(&buf, interval)
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSourceConformance runs every Source implementation in the package
+// through the shared pull-stream conformance suite.
+func TestSourceConformance(t *testing.T) {
+	want := wellFormedTrace(100) // 400 events: spans several default batches
+
+	reader := func(v2 bool, interval int) sourcetest.Factory {
+		data := encode(t, want, v2, interval)
+		return func(t *testing.T) trace.Source {
+			r, err := trace.NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+	}
+
+	// MergeSource remaps identifiers across its inputs (each input is
+	// one machine of a fleet), so its `want` is its own deterministic
+	// output: one Next-drain defines the stream, and the suite then
+	// holds every other access pattern to those bytes.
+	mkMerge := func(t *testing.T) trace.Source {
+		strands := make([][]trace.Event, 3)
+		for i, e := range want {
+			strands[i%3] = append(strands[i%3], e)
+		}
+		srcs := make([]trace.Source, len(strands))
+		for i := range strands {
+			srcs[i] = trace.NewSliceSource(strands[i])
+		}
+		return trace.NewMergeSource(srcs...)
+	}
+	var mergeWant []trace.Event
+	{
+		src := mkMerge(t)
+		for {
+			e, err := src.Next()
+			if err != nil {
+				break
+			}
+			mergeWant = append(mergeWant, e)
+		}
+		if len(mergeWant) != len(want) {
+			t.Fatalf("merge drain yielded %d events, want %d", len(mergeWant), len(want))
+		}
+	}
+
+	cases := []struct {
+		name string
+		mk   sourcetest.Factory
+		want []trace.Event
+	}{
+		{"slice", func(t *testing.T) trace.Source {
+			return trace.NewSliceSource(want)
+		}, want},
+		{"slice-empty", func(t *testing.T) trace.Source {
+			return trace.NewSliceSource(nil)
+		}, nil},
+		{"reader-v1", reader(false, 0), want},
+		{"reader-v2", reader(true, 7), want},
+		{"merge", mkMerge, mergeWant},
+		{"merge-empty", func(t *testing.T) trace.Source {
+			return trace.NewMergeSource()
+		}, nil},
+		{"recover", func(t *testing.T) trace.Source {
+			return trace.NewRecoverSource(trace.NewSliceSource(want))
+		}, want},
+		{"lenient", func(t *testing.T) trace.Source {
+			return trace.NewLenientSource(trace.NewSliceSource(want))
+		}, want},
+		{"fanout-sub", func(t *testing.T) trace.Source {
+			f := trace.NewFanout(1)
+			sub := f.Source(0)
+			t.Cleanup(sub.Cancel)
+			go func() {
+				for _, e := range want {
+					if f.Write(e) != nil {
+						break
+					}
+				}
+				f.Close(nil)
+			}()
+			return sub
+		}, want},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sourcetest.Run(t, tc.mk, tc.want)
+		})
+	}
+}
+
+// TestReaderStickyError pins terminal-error stickiness on the v1
+// reader: a truncated stream keeps reporting the same decode error on
+// every call after the first, through both access paths, with the
+// intact prefix delivered.
+func TestReaderStickyError(t *testing.T) {
+	want := wellFormedTrace(100)
+	data := encode(t, want, false, 0)
+	cut := data[:len(data)-3] // mid-record truncation
+
+	// Count the events the truncated stream still decodes cleanly.
+	r, err := trace.NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		good++
+	}
+	if good == 0 || good >= len(want) {
+		t.Fatalf("truncation produced %d good events of %d; want a mid-stream error", good, len(want))
+	}
+
+	sourcetest.RunSticky(t, func(t *testing.T) trace.Source {
+		r, err := trace.NewReader(bytes.NewReader(cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}, good)
+}

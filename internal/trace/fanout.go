@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout is the generate-once tee: one producer pushes an event stream
+// in, and every subscriber reads the whole stream as its own Source,
+// concurrently, through a bounded channel of shared event batches. The
+// producer never materializes the stream and never re-generates it —
+// each batch is refcounted across the subscribers and returned to the
+// batch pool when the last one releases it.
+//
+// Memory is bounded at O(subscribers * fanoutChanBuffer * batch), so a
+// slow subscriber throttles the producer instead of growing a queue.
+// Every subscriber must therefore be drained by its own goroutine (or
+// canceled); two subscribers consumed sequentially from one goroutine
+// deadlock by construction.
+type Fanout struct {
+	subs   []*FanoutSub
+	buf    []Event
+	closed bool
+}
+
+// fanoutChanBuffer is each subscriber's channel capacity in batches:
+// enough slack that subscribers at slightly different speeds do not
+// convoy, small enough that fan-out memory stays trivial.
+const fanoutChanBuffer = 8
+
+// ErrFanoutDone is returned by Write once every subscriber has
+// canceled: nothing is listening, so the producer may stop early.
+var ErrFanoutDone = errors.New("trace: all fanout subscribers canceled")
+
+// sharedBatch is one refcounted slice of events shared read-only by all
+// subscribers it was sent to.
+type sharedBatch struct {
+	events []Event
+	refs   atomic.Int32
+}
+
+func (b *sharedBatch) release() {
+	if b.refs.Add(-1) == 0 {
+		PutBatch(b.events[:cap(b.events)])
+	}
+}
+
+// NewFanout creates a tee with n subscribers, Source(0) through
+// Source(n-1).
+func NewFanout(n int) *Fanout {
+	f := &Fanout{}
+	for i := 0; i < n; i++ {
+		f.subs = append(f.subs, &FanoutSub{
+			ch:     make(chan *sharedBatch, fanoutChanBuffer),
+			cancel: make(chan struct{}),
+		})
+	}
+	return f
+}
+
+// Source returns subscriber i's end of the tee.
+func (f *Fanout) Source(i int) *FanoutSub { return f.subs[i] }
+
+// Write pushes one event to every live subscriber, batching internally.
+// It is shaped to be a workload sink (func(Event) error). Write blocks
+// when a subscriber's channel is full; it returns ErrFanoutDone once
+// every subscriber has canceled.
+func (f *Fanout) Write(e Event) error {
+	if f.buf == nil {
+		f.buf = GetBatch()[:0]
+	}
+	f.buf = append(f.buf, e)
+	if len(f.buf) == cap(f.buf) {
+		return f.flush()
+	}
+	return nil
+}
+
+// flush shares the pending batch out to the live subscribers.
+func (f *Fanout) flush() error {
+	if len(f.buf) == 0 {
+		return nil
+	}
+	sb := &sharedBatch{events: f.buf}
+	f.buf = nil
+	live := 0
+	for _, s := range f.subs {
+		if s.dead {
+			continue
+		}
+		// Poll cancel before counting: a send and a closed cancel are
+		// both ready in the select below, so without this check a
+		// canceled subscriber with channel space would keep receiving.
+		select {
+		case <-s.cancel:
+			s.dead = true
+		default:
+			live++
+		}
+	}
+	if live == 0 {
+		PutBatch(sb.events[:cap(sb.events)])
+		return ErrFanoutDone
+	}
+	sb.refs.Store(int32(live))
+	for _, s := range f.subs {
+		if s.dead {
+			continue
+		}
+		select {
+		case s.ch <- sb:
+		case <-s.cancel:
+			s.dead = true
+			sb.release()
+		}
+	}
+	return nil
+}
+
+// Close flushes the final partial batch and ends every subscriber's
+// stream: with a nil err subscribers see io.EOF, otherwise they see
+// err. Close must be called exactly once, after the last Write.
+func (f *Fanout) Close(err error) {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	if ferr := f.flush(); ferr != nil && err == nil && ferr != ErrFanoutDone {
+		err = ferr
+	}
+	for _, s := range f.subs {
+		s.err = err
+		close(s.ch)
+	}
+}
+
+// FanoutSub is one subscriber's Source over the shared stream. It is
+// owned by a single consumer goroutine.
+type FanoutSub struct {
+	ch     chan *sharedBatch
+	cancel chan struct{}
+	err    error // terminal error, readable after ch closes
+	dead   bool  // producer-side: subscriber canceled
+
+	once sync.Once
+	cur  *sharedBatch
+	pos  int
+}
+
+// fill advances to the next shared batch, releasing the current one.
+// It returns false at end of stream.
+func (s *FanoutSub) fill() bool {
+	if s.cur != nil {
+		s.cur.release()
+		s.cur, s.pos = nil, 0
+	}
+	sb, ok := <-s.ch
+	if !ok {
+		return false
+	}
+	s.cur = sb
+	return true
+}
+
+// Next returns the next event of the stream.
+func (s *FanoutSub) Next() (Event, error) {
+	for s.cur == nil || s.pos >= len(s.cur.events) {
+		if !s.fill() {
+			if s.err != nil {
+				return Event{}, s.err
+			}
+			return Event{}, io.EOF
+		}
+	}
+	e := s.cur.events[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// NextBatch copies the pending events of the current shared batch.
+func (s *FanoutSub) NextBatch(buf []Event) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil // a zero-length buffer is a no-op read
+	}
+	for s.cur == nil || s.pos >= len(s.cur.events) {
+		if !s.fill() {
+			if s.err != nil {
+				return 0, s.err
+			}
+			return 0, io.EOF
+		}
+	}
+	n := copy(buf, s.cur.events[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// Cancel tells the producer this subscriber is done; the producer stops
+// sending to it and no longer blocks on its channel. Safe to call more
+// than once, and always safe to defer — canceling after a clean EOF is
+// a no-op. Batches already queued are released opportunistically; any
+// that race a concurrent send are reclaimed by the garbage collector
+// rather than the pool.
+func (s *FanoutSub) Cancel() {
+	s.once.Do(func() { close(s.cancel) })
+	if s.cur != nil {
+		s.cur.release()
+		s.cur, s.pos = nil, 0
+	}
+	for {
+		select {
+		case sb, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			sb.release()
+		default:
+			return
+		}
+	}
+}

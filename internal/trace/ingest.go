@@ -34,6 +34,9 @@ func NewLenientSource(src Source) *LenientSource {
 // Next returns the next repaired event.
 func (s *LenientSource) Next() (Event, error) { return s.rec.Next() }
 
+// NextBatch repairs a batch of events in one call.
+func (s *LenientSource) NextBatch(buf []Event) (int, error) { return s.rec.NextBatch(buf) }
+
 // Stats returns the repair budget so far.
 func (s *LenientSource) Stats() RepairStats { return s.rec.Stats() }
 

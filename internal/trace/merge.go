@@ -66,21 +66,9 @@ func (m *MergeSource) Next() (Event, error) {
 		return Event{}, m.err
 	}
 	if m.pending != nil {
-		// First call: prime one event from each source.
-		for _, it := range m.pending {
-			e, err := it.src.Next()
-			if err == io.EOF {
-				continue
-			}
-			if err != nil {
-				m.err = err
-				return Event{}, err
-			}
-			it.head = e
-			m.items = append(m.items, it)
+		if _, err := m.prime(); err != nil {
+			return Event{}, err
 		}
-		m.pending = nil
-		heap.Init(m)
 	}
 	if len(m.items) == 0 {
 		return Event{}, io.EOF
@@ -90,16 +78,41 @@ func (m *MergeSource) Next() (Event, error) {
 	e, err := it.src.Next()
 	switch {
 	case err == io.EOF:
-		heap.Pop(m)
+		m.popLead()
 	case err != nil:
 		m.err = err
 		return Event{}, err
 	default:
 		it.head = e
-		heap.Fix(m, 0)
+		m.fixLead()
 	}
 	return out, nil
 }
+
+// prime loads the first event of every source into the heap. It runs
+// once, on the first pull.
+func (m *MergeSource) prime() (int, error) {
+	for _, it := range m.pending {
+		e, err := it.src.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.err = err
+			return 0, err
+		}
+		it.head = e
+		m.items = append(m.items, it)
+	}
+	m.pending = nil
+	heap.Init(m)
+	return len(m.items), nil
+}
+
+// popLead removes the drained lead source; fixLead restores the heap
+// after the lead's head advanced.
+func (m *MergeSource) popLead() { heap.Pop(m) }
+func (m *MergeSource) fixLead() { heap.Fix(m, 0) }
 
 func (m *MergeSource) Len() int { return len(m.items) }
 func (m *MergeSource) Less(i, j int) bool {

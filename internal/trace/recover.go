@@ -90,6 +90,13 @@ type RecoverSource struct {
 	started bool
 	hold    Event // the open that follows a synthesized close
 	hasHold bool
+
+	// in is the batched input buffer: raw events are pulled from src a
+	// batch at a time and repaired out of the buffer, so the repair pass
+	// adds no per-event interface calls of its own.
+	in    []Event
+	inPos int
+	inN   int
 }
 
 type recOpen struct {
@@ -111,6 +118,24 @@ func NewRecoverSource(src Source) *RecoverSource {
 // returned io.EOF.
 func (r *RecoverSource) Stats() RepairStats { return r.stats }
 
+// pull returns the next raw event from the wrapped source through the
+// batched input buffer.
+func (r *RecoverSource) pull() (Event, error) {
+	if r.inPos >= r.inN {
+		if r.in == nil {
+			r.in = make([]Event, DefaultBatchSize)
+		}
+		n, err := ReadBatch(r.src, r.in)
+		if n == 0 {
+			return Event{}, err
+		}
+		r.inN, r.inPos = n, 0
+	}
+	e := r.in[r.inPos]
+	r.inPos++
+	return e, nil
+}
+
 // Next returns the next repaired event.
 func (r *RecoverSource) Next() (Event, error) {
 	if r.hasHold {
@@ -119,7 +144,7 @@ func (r *RecoverSource) Next() (Event, error) {
 		return r.hold, nil
 	}
 	for {
-		e, err := r.src.Next()
+		e, err := r.pull()
 		if err != nil {
 			// EOF included: opens legitimately outlive a live trace, so
 			// no closes are synthesized at end of stream.
@@ -140,6 +165,48 @@ func (r *RecoverSource) Next() (Event, error) {
 		r.stats.Emitted++
 		return e, nil
 	}
+}
+
+// NextBatch repairs a batch of events in one call. A synthesized close
+// that lands on a full batch is held for the next call, so batch
+// boundaries never change what is emitted.
+func (r *RecoverSource) NextBatch(buf []Event) (int, error) {
+	n := 0
+	if n < len(buf) && r.hasHold {
+		r.hasHold = false
+		r.stats.Emitted++
+		buf[n] = r.hold
+		n++
+	}
+	for n < len(buf) {
+		e, err := r.pull()
+		if err != nil {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		r.stats.Events++
+		e, emit, synth := r.repair(e)
+		if !emit {
+			r.stats.Dropped++
+			continue
+		}
+		if synth != nil {
+			r.stats.Synthesized++
+			r.stats.Emitted++
+			buf[n] = *synth
+			n++
+			if n == len(buf) {
+				r.hold, r.hasHold = e, true
+				return n, nil
+			}
+		}
+		r.stats.Emitted++
+		buf[n] = e
+		n++
+	}
+	return n, nil
 }
 
 // repair applies the local repairs to one event. It returns the repaired

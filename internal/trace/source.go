@@ -44,15 +44,17 @@ func (s *SliceSource) Next() (Event, error) {
 // Reader.ReadAll; tests and the in-memory Merge use it.
 func ReadSource(src Source) ([]Event, error) {
 	var out []Event
+	buf := GetBatch()
+	defer PutBatch(buf)
 	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
+		n, err := ReadBatch(src, buf)
+		out = append(out, buf[:n]...)
+		if n == 0 {
+			if err == io.EOF {
+				return out, nil
+			}
 			return out, err
 		}
-		out = append(out, e)
 	}
 }
 
@@ -61,18 +63,22 @@ func ReadSource(src Source) ([]Event, error) {
 // binary trace file.
 func CopySource(w *Writer, src Source) (int64, error) {
 	var n int64
+	buf := GetBatch()
+	defer PutBatch(buf)
 	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
+		k, err := ReadBatch(src, buf)
+		if k == 0 {
+			if err == io.EOF {
+				return n, nil
+			}
 			return n, err
 		}
-		if err := w.Write(e); err != nil {
-			return n, err
+		for _, e := range buf[:k] {
+			if err := w.Write(e); err != nil {
+				return n, err
+			}
+			n++
 		}
-		n++
 	}
 }
 

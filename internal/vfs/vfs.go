@@ -117,6 +117,8 @@ func (fs *FS) NumDirs() int64 { return fs.ndirs }
 
 // split cleans an absolute path into its components. It rejects relative
 // and empty paths; the simulated kernel always works with absolute paths.
+// Only cold setup paths (MkdirAll) use it; the hot resolution path is
+// walk, which scans components in place without allocating.
 func split(path string) ([]string, error) {
 	if !strings.HasPrefix(path, "/") {
 		return nil, fmt.Errorf("%w: path %q is not absolute", ErrInvalid, path)
@@ -138,26 +140,41 @@ func split(path string) ([]string, error) {
 
 // walk resolves all but the last component of path, returning the parent
 // directory and the final name. A path naming the root returns (root, "").
+// Components are scanned in place — name resolution is the single hottest
+// operation the simulated kernel performs, and this path allocates
+// nothing (the returned name is a substring of path).
 func (fs *FS) walk(path string) (dir *Inode, name string, err error) {
-	parts, err := split(path)
-	if err != nil {
-		return nil, "", err
-	}
-	if len(parts) == 0 {
-		return fs.root, "", nil
+	if len(path) == 0 || path[0] != '/' {
+		return nil, "", fmt.Errorf("%w: path %q is not absolute", ErrInvalid, path)
 	}
 	cur := fs.root
-	for _, p := range parts[:len(parts)-1] {
-		next, ok := cur.children[p]
-		if !ok {
-			return nil, "", fmt.Errorf("%w: %q (component %q)", ErrNotExist, path, p)
+	i := 1
+	for i < len(path) {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
 		}
-		if !next.IsDir() {
-			return nil, "", fmt.Errorf("%w: %q (component %q)", ErrNotDir, path, p)
+		seg := path[i:j]
+		i = j + 1
+		switch seg {
+		case "", ".":
+			continue
+		case "..":
+			return nil, "", fmt.Errorf("%w: path %q contains ..", ErrInvalid, path)
 		}
-		cur = next
+		if name != "" {
+			next, ok := cur.children[name]
+			if !ok {
+				return nil, "", fmt.Errorf("%w: %q (component %q)", ErrNotExist, path, name)
+			}
+			if !next.IsDir() {
+				return nil, "", fmt.Errorf("%w: %q (component %q)", ErrNotDir, path, name)
+			}
+			cur = next
+		}
+		name = seg
 	}
-	return cur, parts[len(parts)-1], nil
+	return cur, name, nil
 }
 
 // Lookup resolves a path to its inode.

@@ -21,10 +21,13 @@ import (
 // after it has the head event of every live shard — goroutine scheduling
 // can change who waits for whom, never what comes out.
 
-// shardChanBuffer is the per-shard event channel capacity. It bounds the
-// sharded generator's memory at O(Shards * shardChanBuffer) events while
-// keeping shard goroutines busy ahead of the merge.
-const shardChanBuffer = 4096
+// shardChanBuffer is the per-shard channel capacity in event batches.
+// Events cross the shard boundary trace.DefaultBatchSize at a time, so
+// the per-event synchronization cost is one channel operation per batch
+// — nothing — and the generator's memory stays bounded at
+// O(Shards * shardChanBuffer * DefaultBatchSize) events while shard
+// goroutines run ahead of the merge on other cores.
+const shardChanBuffer = 16
 
 // errAborted tells a shard goroutine the consumer stopped pulling.
 var errAborted = errors.New("workload: generation aborted")
@@ -67,28 +70,103 @@ func splitProfile(prof Profile, n int) []Profile {
 	return out
 }
 
-// shardStream is one shard's live output: a channel of events plus the
-// shard's Result and error, delivered after the channel closes.
+// shardStream is one shard's live output: a channel of pooled event
+// batches plus the shard's Result and error, delivered after the channel
+// closes.
 type shardStream struct {
-	ch   chan trace.Event
+	ch   chan []trace.Event
 	res  *Result
 	err  error
 	done chan struct{} // closed once res/err are set
+
+	cur []trace.Event // batch being consumed
+	pos int
+}
+
+// fill receives the next batch, returning false at end of stream (the
+// shard's terminal error, if any, is in s.err after s.done closes).
+func (s *shardStream) fill() bool {
+	if s.cur != nil {
+		trace.PutBatch(s.cur)
+		s.cur, s.pos = nil, 0
+	}
+	b, ok := <-s.ch
+	if !ok {
+		<-s.done
+		return false
+	}
+	s.cur = b
+	return true
 }
 
 // Next makes a *shardStream a trace.Source for the merge. The closed
 // channel becomes io.EOF — or the shard's terminal error, so generation
-// failures surface through the merge.
+// failures surface through the merge. Between channel receives, Next is
+// a slice index.
 func (s *shardStream) Next() (trace.Event, error) {
-	e, ok := <-s.ch
-	if !ok {
-		<-s.done
-		if s.err != nil {
-			return trace.Event{}, s.err
+	for s.pos >= len(s.cur) {
+		if !s.fill() {
+			if s.err != nil {
+				return trace.Event{}, s.err
+			}
+			return trace.Event{}, io.EOF
 		}
-		return trace.Event{}, io.EOF
 	}
+	e := s.cur[s.pos]
+	s.pos++
 	return e, nil
+}
+
+// NextBatch hands over the pending events of the current batch in one
+// copy.
+func (s *shardStream) NextBatch(buf []trace.Event) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil // a zero-length buffer is a no-op read
+	}
+	for s.pos >= len(s.cur) {
+		if !s.fill() {
+			if s.err != nil {
+				return 0, s.err
+			}
+			return 0, io.EOF
+		}
+	}
+	n := copy(buf, s.cur[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// batchingSink groups a shard's events into pooled batches and sends
+// them over the shard channel, watching abort so a stalled consumer
+// cannot wedge the fleet.
+type batchingSink struct {
+	ch    chan<- []trace.Event
+	abort <-chan struct{}
+	buf   []trace.Event
+}
+
+func (b *batchingSink) send(e trace.Event) error {
+	if b.buf == nil {
+		b.buf = trace.GetBatch()[:0]
+	}
+	b.buf = append(b.buf, e)
+	if len(b.buf) == cap(b.buf) {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *batchingSink) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	select {
+	case b.ch <- b.buf:
+		b.buf = nil
+		return nil
+	case <-b.abort:
+		return errAborted
+	}
 }
 
 // generateSharded fans the population out over cfg.Shards concurrent
@@ -109,7 +187,7 @@ func generateSharded(cfg Config, sink Sink) (*Result, error) {
 	shards := make([]*shardStream, n)
 	sources := make([]trace.Source, n)
 	for i := range shards {
-		s := &shardStream{ch: make(chan trace.Event, shardChanBuffer), done: make(chan struct{})}
+		s := &shardStream{ch: make(chan []trace.Event, shardChanBuffer), done: make(chan struct{})}
 		shards[i] = s
 		sources[i] = s
 		shardCfg := cfg
@@ -119,14 +197,11 @@ func generateSharded(cfg Config, sink Sink) (*Result, error) {
 		go func() {
 			defer close(s.ch)
 			defer close(s.done)
-			s.res, s.err = generateProfile(shardCfg, prof, func(e trace.Event) error {
-				select {
-				case s.ch <- e:
-					return nil
-				case <-abort:
-					return errAborted
-				}
-			})
+			out := &batchingSink{ch: s.ch, abort: abort}
+			s.res, s.err = generateProfile(shardCfg, prof, out.send)
+			if s.err == nil {
+				s.err = out.flush()
+			}
 			if s.err == errAborted {
 				s.err = nil // the consumer aborted; its error wins
 			}
@@ -134,17 +209,21 @@ func generateSharded(cfg Config, sink Sink) (*Result, error) {
 	}
 
 	merge := trace.NewMergeSource(sources...)
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
 	for {
-		e, err := merge.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+		k, err := trace.ReadBatch(merge, buf)
+		if k == 0 {
+			if err == io.EOF {
+				break
+			}
 			return nil, err
 		}
 		if sink != nil {
-			if err := sink(e); err != nil {
-				return nil, err
+			for _, e := range buf[:k] {
+				if err := sink(e); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/trace/sourcetest"
+)
+
+// TestShardStreamConformance runs the shard-boundary channel source
+// through the shared pull-stream suite: the batched channel hop must be
+// invisible to the merge that consumes it.
+func TestShardStreamConformance(t *testing.T) {
+	// Enough events to cross several channel batches.
+	want := make([]trace.Event, 0, 3*trace.DefaultBatchSize+17)
+	for i := 0; i < cap(want); i++ {
+		want = append(want, trace.Event{
+			Time: trace.Time(i), Kind: trace.KindOpen,
+			OpenID: trace.OpenID(i + 1), File: trace.FileID(i%50 + 1), User: 1,
+		})
+	}
+
+	mk := func(t *testing.T) trace.Source {
+		s := &shardStream{ch: make(chan []trace.Event, shardChanBuffer), done: make(chan struct{})}
+		abort := make(chan struct{})
+		t.Cleanup(func() { close(abort) })
+		go func() {
+			defer close(s.ch)
+			defer close(s.done)
+			out := &batchingSink{ch: s.ch, abort: abort}
+			for _, e := range want {
+				if out.send(e) != nil {
+					return
+				}
+			}
+			if err := out.flush(); err != nil && err != errAborted {
+				s.err = err
+			}
+		}()
+		return s
+	}
+	sourcetest.Run(t, mk, want)
+}

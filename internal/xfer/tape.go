@@ -203,15 +203,19 @@ func NewTape(events []trace.Event) (*Tape, error) {
 // fit in memory (*trace.Reader is a Source, as is a merged shard stream).
 func BuildTape(src trace.Source) (*Tape, error) {
 	b := NewTapeBuilder()
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
 	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+		n, err := trace.ReadBatch(src, buf)
+		if n == 0 {
+			if err == io.EOF {
+				break
+			}
 			return nil, err
 		}
-		b.Add(e)
+		for _, e := range buf[:n] {
+			b.Add(e)
+		}
 	}
 	return b.Finish()
 }
