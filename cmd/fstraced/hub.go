@@ -1,0 +1,149 @@
+package main
+
+import "sync"
+
+// The stream hub fans the recorder's byte stream out to HTTP clients.
+//
+// One recorder goroutine encodes the live trace exactly once, cutting
+// the v2 byte stream into chunks at checkpoint-segment boundaries: each
+// chunk is one whole segment (its records plus the closing checkpoint),
+// so any concatenation of a header and a run of consecutive chunks is a
+// well-formed v2 stream. That is what makes mid-stream join cheap — a
+// late client gets the 5-byte header plus the retained ring of recent
+// chunks, and the v2 reader's checkpoint verification resynchronizes it
+// (see DESIGN.md §10 for the protocol).
+//
+// Every subscriber has a small bounded chunk queue. The hub's broadcast
+// blocks on a full queue, which stalls the recorder, which stalls the
+// producer through the fan-out — per-client backpressure all the way to
+// generation, no unbounded buffering anywhere.
+
+// chunk is one sealed checkpoint segment of the shared byte stream.
+type chunk struct {
+	data  []byte // immutable once sealed
+	first int64  // absolute record index of the first record
+	n     int    // records in this chunk
+}
+
+// hubChanBuffer is a subscriber's queue capacity in chunks.
+const hubChanBuffer = 8
+
+type hubSub struct {
+	ch   chan *chunk
+	gone chan struct{} // closed by the subscriber's handler on exit
+	once sync.Once
+}
+
+// leave marks the subscriber gone so a blocked broadcast releases.
+func (s *hubSub) leave() { s.once.Do(func() { close(s.gone) }) }
+
+type streamHub struct {
+	mu     sync.Mutex
+	header []byte
+	retain int
+	ring   []*chunk // most recent sealed chunks, oldest first
+	subs   map[*hubSub]struct{}
+	closed bool
+
+	// Sealed-stream accounting, all under mu.
+	records int64
+	chunks  int64
+	bytes   int64
+}
+
+func newStreamHub(retain int) *streamHub {
+	if retain < 1 {
+		retain = 1
+	}
+	return &streamHub{retain: retain, subs: make(map[*hubSub]struct{})}
+}
+
+// setHeader installs the stream preamble every subscriber's reply
+// starts with. The recorder calls it once, before any chunk seals.
+func (h *streamHub) setHeader(b []byte) {
+	h.mu.Lock()
+	h.header = b
+	h.mu.Unlock()
+}
+
+// subscribe registers a subscriber and returns the replay prefix its
+// response must start with: the header plus, unless fromLatest, the
+// retained chunk ring. Registration and prefix snapshot are atomic, so
+// a chunk is either in the prefix or delivered live, never both or
+// neither. On a closed hub the returned channel is already closed: the
+// client gets the prefix (the final state of the stream) and EOF.
+func (h *streamHub) subscribe(fromLatest bool) ([]byte, *hubSub) {
+	s := &hubSub{ch: make(chan *chunk, hubChanBuffer), gone: make(chan struct{})}
+	h.mu.Lock()
+	prefix := append([]byte(nil), h.header...)
+	if !fromLatest {
+		for _, c := range h.ring {
+			prefix = append(prefix, c.data...)
+		}
+	}
+	if h.closed {
+		close(s.ch)
+	} else {
+		h.subs[s] = struct{}{}
+	}
+	h.mu.Unlock()
+	return prefix, s
+}
+
+// unsubscribe removes a subscriber; chunks still queued are dropped for
+// the garbage collector (chunk bytes are not pooled).
+func (h *streamHub) unsubscribe(s *hubSub) {
+	s.leave()
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+}
+
+// seal publishes one finished chunk: appends it to the retained ring
+// and delivers it to every subscriber, blocking on full queues (that
+// blocking is the backpressure contract). Only the recorder calls seal,
+// and never after close.
+func (h *streamHub) seal(c *chunk) {
+	h.mu.Lock()
+	h.ring = append(h.ring, c)
+	if len(h.ring) > h.retain {
+		h.ring = h.ring[1:]
+	}
+	h.records += int64(c.n)
+	h.chunks++
+	h.bytes += int64(len(c.data))
+	subs := make([]*hubSub, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		select {
+		case s.ch <- c:
+		case <-s.gone:
+		}
+	}
+}
+
+// close ends the stream: every subscriber's channel is closed after its
+// queued chunks, and future subscribers get the retained state plus an
+// immediate EOF.
+func (h *streamHub) close() {
+	h.mu.Lock()
+	h.closed = true
+	subs := make([]*hubSub, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// stats returns the sealed-stream accounting.
+func (h *streamHub) stats() (records, chunks, bytes int64, subscribers int, closed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.records, h.chunks, h.bytes, len(h.subs), h.closed
+}

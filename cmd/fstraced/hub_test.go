@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func mkChunk(first int64, n int) *chunk {
+	return &chunk{data: bytes.Repeat([]byte{byte(first)}, 8), first: first, n: n}
+}
+
+// TestHubBackpressureBlocksAndReleases pins the backpressure contract:
+// a subscriber that stops reading stalls the broadcaster once its queue
+// fills, and the stall releases the moment the subscriber leaves.
+func TestHubBackpressureBlocksAndReleases(t *testing.T) {
+	h := newStreamHub(2)
+	h.setHeader([]byte("HDR"))
+	_, stalled := h.subscribe(false)
+
+	sealed := make(chan struct{})
+	go func() {
+		for i := 0; i <= hubChanBuffer; i++ { // one more than the queue holds
+			h.seal(mkChunk(int64(i), 1))
+		}
+		close(sealed)
+	}()
+	select {
+	case <-sealed:
+		t.Fatalf("sealed %d chunks into an unread queue of %d without blocking",
+			hubChanBuffer+1, hubChanBuffer)
+	case <-time.After(50 * time.Millisecond):
+		// Blocked, as the contract requires.
+	}
+	h.unsubscribe(stalled)
+	select {
+	case <-sealed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast still blocked after the stalled subscriber left")
+	}
+}
+
+// TestHubSubscribeReplayAndClose: the prefix is atomic with
+// registration (every chunk exactly once, replayed or live), the ring
+// retains only the newest chunks, and post-close subscribers get the
+// final state plus immediate EOF.
+func TestHubSubscribeReplayAndClose(t *testing.T) {
+	h := newStreamHub(2)
+	h.setHeader([]byte("HDR"))
+	for i := 0; i < 5; i++ {
+		h.seal(mkChunk(int64(i), 1))
+	}
+
+	prefix, sub := h.subscribe(false)
+	want := append([]byte("HDR"), append(mkChunk(3, 1).data, mkChunk(4, 1).data...)...)
+	if !bytes.Equal(prefix, want) {
+		t.Fatalf("replay prefix = %q, want header plus the 2 retained chunks %q", prefix, want)
+	}
+	h.seal(mkChunk(5, 1))
+	if c := <-sub.ch; c.first != 5 {
+		t.Fatalf("live chunk first = %d, want 5", c.first)
+	}
+	h.unsubscribe(sub)
+
+	livePrefix, liveSub := h.subscribe(true)
+	if !bytes.Equal(livePrefix, []byte("HDR")) {
+		t.Fatalf("live prefix = %q, want bare header", livePrefix)
+	}
+	h.unsubscribe(liveSub)
+
+	h.close()
+	prefix, sub = h.subscribe(false)
+	if !bytes.Equal(prefix[:3], []byte("HDR")) {
+		t.Fatalf("post-close prefix lost the header: %q", prefix)
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("post-close subscriber channel not closed")
+	}
+
+	records, chunks, bytesSealed, subscribers, closed := h.stats()
+	if records != 6 || chunks != 6 || bytesSealed != 48 || subscribers != 0 || !closed {
+		t.Fatalf("stats = (%d, %d, %d, %d, %v), want (6, 6, 48, 0, true)",
+			records, chunks, bytesSealed, subscribers, closed)
+	}
+}

@@ -316,6 +316,23 @@ func (a *activityAccum) finish() {
 	}
 }
 
+// clone returns an independent copy whose finish leaves the original
+// untouched. The row's Welford accumulators are plain values and copy
+// with the struct; the scratch buffer is per-instance and starts empty.
+func (a *activityAccum) clone() *activityAccum {
+	c := &activityAccum{
+		width:   a.width,
+		current: a.current,
+		users:   make(map[trace.UserID]int64, len(a.users)),
+		row:     a.row,
+		started: a.started,
+	}
+	for u, b := range a.users {
+		c.users[u] = b
+	}
+	return c
+}
+
 // Stream is the incremental form of the Section-5 analysis: feed it a
 // time-ordered event stream one event at a time and call Finish once at
 // the end. Its working state is bounded by the trace's live population —
@@ -493,6 +510,67 @@ func (s *Stream) Feed(e trace.Event) {
 	}
 
 	s.sc.Feed(e)
+}
+
+// Snapshot returns the analysis of the stream so far, as if the trace
+// ended at the last event fed: open intervals are flushed, files still
+// alive are censored into the top lifetime bucket, and every CDF is
+// materialized — exactly what Finish would report right now. Unlike
+// Finish it does not disturb the incremental state: Feed may continue
+// afterwards, and a later Finish (or Snapshot) produces byte-identical
+// results whether or not Snapshot was ever called. After Finish,
+// Snapshot returns the finished Analysis. Like Feed, Snapshot must be
+// called from the feeding goroutine or with external synchronization.
+func (s *Stream) Snapshot() *Analysis {
+	if s.finished {
+		return s.an
+	}
+	an := *s.an
+	an.Overall.UnclosedOpens = s.sc.OpenCount()
+	// Flushing the encoder only drains its buffer into the byte counter;
+	// the encoding of later events is unaffected.
+	if err := s.enc.Flush(); err == nil {
+		an.Overall.EncodedSize = s.counter.n
+	}
+
+	const censored = 1e18
+	lifeFiles := s.lifeFiles.Clone()
+	lifeBytes := s.lifeBytes.Clone()
+	for _, st := range s.lives {
+		lifeFiles.Add(censored, 1)
+		lifeBytes.Add(censored, float64(st.bytes))
+	}
+
+	longAcc := s.longAcc.clone()
+	shortAcc := s.shortAcc.clone()
+	longAcc.finish()
+	shortAcc.finish()
+	an.Activity.Long = longAcc.row
+	an.Activity.Short = shortAcc.row
+	an.Activity.TotalUsers = len(s.usersSeen)
+	if an.Overall.Duration > 0 {
+		an.Activity.AvgThroughput = float64(an.Overall.BytesTransferred) / an.Overall.Duration.Seconds()
+	}
+
+	an.Sharing = Sharing{}
+	for _, sh := range s.shares {
+		an.Sharing.FilesAccessed++
+		an.Sharing.AccessesTotal += sh.accesses
+		if sh.users > 1 {
+			an.Sharing.FilesShared++
+			an.Sharing.AccessesToShared += sh.accesses
+		}
+	}
+
+	an.RunLengthsByRuns = s.runLenRuns.CDF()
+	an.RunLengthsByBytes = s.runLenBytes.CDF()
+	an.FileSizesByFiles = s.sizeFiles.CDF()
+	an.FileSizesByBytes = s.sizeBytes.CDF()
+	an.OpenTimes = s.openTimes.CDF()
+	an.Lifetimes.ByFiles = lifeFiles.CDF()
+	an.Lifetimes.ByBytes = lifeBytes.CDF()
+	an.EventIntervals = s.gaps.CDF()
+	return &an
 }
 
 // Finish completes the analysis and returns it. Further Feed calls after

@@ -1,0 +1,83 @@
+package analyzer
+
+import (
+	"reflect"
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/workload"
+)
+
+// snapshotTrace generates a small but realistic workload: every event
+// kind, daemons, overlapping opens, births and deaths — the state the
+// snapshot has to copy without disturbing.
+func snapshotTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	var events []trace.Event
+	_, err := workload.GenerateStream(
+		workload.Config{Profile: "A5", Seed: 7, Duration: 20 * trace.Minute},
+		func(e trace.Event) error { events = append(events, e); return nil })
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(events) < 1000 {
+		t.Fatalf("workload produced only %d events", len(events))
+	}
+	return events
+}
+
+// TestSnapshotEqualsTruncatedAnalyze: a snapshot after k events is the
+// analysis of the k-event trace — identical to running the batch
+// analyzer over the truncated slice. All byte and count weights are
+// integer-valued floats, so the equality is exact, not approximate.
+func TestSnapshotEqualsTruncatedAnalyze(t *testing.T) {
+	events := snapshotTrace(t)
+	cuts := []int{1, len(events) / 3, len(events) / 2, len(events)}
+	s := NewStream(Options{})
+	fed := 0
+	for _, k := range cuts {
+		for ; fed < k; fed++ {
+			s.Feed(events[fed])
+		}
+		got := s.Snapshot()
+		want := Analyze(events[:k], Options{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Snapshot after %d events differs from Analyze of the truncated trace", k)
+		}
+	}
+}
+
+// TestSnapshotDoesNotDisturbFinish: a stream that was snapshotted along
+// the way must finish with exactly the result of one that never was.
+func TestSnapshotDoesNotDisturbFinish(t *testing.T) {
+	events := snapshotTrace(t)
+	plain := NewStream(Options{})
+	snapped := NewStream(Options{})
+	for i, e := range events {
+		plain.Feed(e)
+		snapped.Feed(e)
+		if i%997 == 0 {
+			snapped.Snapshot()
+		}
+	}
+	snapped.Snapshot()
+	got := snapped.Finish()
+	want := plain.Finish()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Finish after Snapshots differs from undisturbed Finish")
+	}
+}
+
+// TestSnapshotAfterFinish: once finished, Snapshot is the finished
+// analysis itself.
+func TestSnapshotAfterFinish(t *testing.T) {
+	events := snapshotTrace(t)
+	s := NewStream(Options{})
+	for _, e := range events {
+		s.Feed(e)
+	}
+	fin := s.Finish()
+	if snap := s.Snapshot(); snap != fin {
+		t.Fatalf("Snapshot after Finish returned a different Analysis")
+	}
+}

@@ -1,16 +1,19 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync/atomic"
 )
 
 // debugRegistry is the registry the /debug/vars "obs" variable reads.
 // expvar.Publish is once-per-process, so the variable indirects through
-// this pointer and ServeDebug swaps it.
+// this pointer and DebugMux swaps it.
 var debugRegistry atomic.Pointer[Registry]
 
 func init() {
@@ -23,22 +26,19 @@ func init() {
 	}))
 }
 
-// ServeDebug starts an HTTP server on addr exposing the stdlib
-// observability surface for live inspection of long runs:
+// DebugMux returns the stdlib observability surface as a mux, for
+// embedding in a server the caller owns (fstraced mounts it next to its
+// own endpoints):
 //
 //	/debug/vars    — expvar, including the full live registry as "obs"
 //	/debug/pprof/  — net/http/pprof profiles (heap, goroutine, CPU, ...)
 //
-// It returns the bound address (useful with ":0") and never blocks; the
-// server runs until the process exits. Long sweeps are exactly when a
-// profile is worth taking, and this endpoint means taking one needs no
-// restart with -cpuprofile.
-func ServeDebug(addr string, reg *Registry) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
+// The registry becomes the one /debug/vars reports; pass nil to keep
+// the current one.
+func DebugMux(reg *Registry) *http.ServeMux {
+	if reg != nil {
+		debugRegistry.Store(reg)
 	}
-	debugRegistry.Store(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -46,6 +46,30 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux)
+	return mux
+}
+
+// ServeDebug starts an HTTP server on addr exposing DebugMux for live
+// inspection of long runs. It returns the bound address (useful with
+// ":0") and never blocks; the server runs until the process exits.
+// Long sweeps are exactly when a profile is worth taking, and this
+// endpoint means taking one needs no restart with -cpuprofile.
+//
+// Bind errors (bad address, occupied port) surface synchronously in the
+// returned error because the listen happens here, before the serve loop
+// starts. A failure of the background serve loop itself — which used to
+// be silently discarded, leaving a dead debug endpoint with no trace of
+// why — is reported to stderr.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := DebugMux(reg)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "obs: debug server on %s stopped: %v\n", ln.Addr(), err)
+		}
+	}()
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugBindErrorSurfaces: a bad address or an occupied port
+// must fail loudly at startup, not produce a silently dead endpoint.
+func TestServeDebugBindErrorSurfaces(t *testing.T) {
+	if _, err := ServeDebug("not-an-address:-1", NewRegistry()); err == nil {
+		t.Fatalf("ServeDebug on a bad address returned no error")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	if _, err := ServeDebug(ln.Addr().String(), NewRegistry()); err == nil {
+		t.Fatalf("ServeDebug on an occupied port returned no error")
+	}
+}
+
+// TestServeDebugServesRegistry: the live registry is visible through
+// /debug/vars as the "obs" variable.
+func TestServeDebugServesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("debugtest.events").Set(42)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if !strings.Contains(string(body), "debugtest.events") {
+		t.Fatalf("/debug/vars does not expose the registry:\n%s", body)
+	}
+}

@@ -191,6 +191,19 @@ func NewLogHistogram(first, ratio float64, n int) *Histogram {
 	return NewHistogram(bounds)
 }
 
+// Clone returns an independent copy of the histogram: adding to either
+// copy leaves the other untouched. Bucket bounds are immutable after
+// construction and are shared, not copied.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds:  h.bounds,
+		weights: append([]float64(nil), h.weights...),
+		total:   h.total,
+		maxSeen: h.maxSeen,
+		anySeen: h.anySeen,
+	}
+}
+
 // Add records one observation of value x with the given weight. Weight is
 // typically 1 (count-weighted CDFs) or a byte count (byte-weighted CDFs).
 func (h *Histogram) Add(x, weight float64) {

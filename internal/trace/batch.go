@@ -91,8 +91,20 @@ func GetBatch() []Event {
 	return *batchPool.Get().(*[]Event)
 }
 
-// PutBatch returns a batch obtained from GetBatch to the pool. Batches
-// of other capacities are dropped rather than pooled.
+// PutBatch returns a batch obtained from GetBatch to the pool.
+//
+// Guard rails: callers routinely reslice a pooled batch (buf[:0] to
+// refill it, buf[:n] after a short read), so PutBatch restores the full
+// DefaultBatchSize length before pooling — GetBatch always hands out
+// full-length batches. A slice whose *capacity* is not exactly
+// DefaultBatchSize cannot be a whole pooled batch (it was either
+// allocated elsewhere, grown by append, or carved out with a three-index
+// or offset reslice), and pooling it would poison the pool with a
+// short or aliased buffer; such slices are dropped for the garbage
+// collector instead. Only pass slices that came from GetBatch: a
+// foreign slice that happens to have capacity DefaultBatchSize but
+// aliases a larger caller-owned array is indistinguishable here and
+// would share that memory with the next GetBatch caller.
 func PutBatch(buf []Event) {
 	if cap(buf) != DefaultBatchSize {
 		return

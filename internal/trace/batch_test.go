@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+// TestPutBatchPoolHygiene pins the pool's invariant: whatever shapes of
+// slice are thrown at PutBatch, GetBatch only ever returns full-length
+// DefaultBatchSize batches. A short-capacity slice making it into the
+// pool would surface as a short read buffer in every batched consumer.
+func TestPutBatchPoolHygiene(t *testing.T) {
+	// Attempted poisonings: allocated elsewhere, resliced short with a
+	// three-index expression, carved from a larger array with an offset
+	// (capacity shrinks), and grown past pool size by append.
+	PutBatch(make([]Event, 10))
+	PutBatch(make([]Event, 0, DefaultBatchSize/2))
+	PutBatch(GetBatch()[:0:100])
+	PutBatch(GetBatch()[10:])
+	big := make([]Event, 4*DefaultBatchSize)
+	PutBatch(big)
+	PutBatch(append(GetBatch(), Event{})) // append reallocated: cap > DefaultBatchSize
+
+	// Legitimate returns in resliced form must come back full length.
+	PutBatch(GetBatch()[:0])
+	PutBatch(GetBatch()[:7])
+
+	for i := 0; i < 64; i++ {
+		b := GetBatch()
+		if len(b) != DefaultBatchSize || cap(b) != DefaultBatchSize {
+			t.Fatalf("GetBatch %d returned len=%d cap=%d, want %d/%d",
+				i, len(b), cap(b), DefaultBatchSize, DefaultBatchSize)
+		}
+		defer PutBatch(b)
+	}
+}

@@ -14,15 +14,29 @@ import (
 // each batch is refcounted across the subscribers and returned to the
 // batch pool when the last one releases it.
 //
+// Subscribers may be fixed up front (NewFanout(n) + Source(i)) or added
+// while the producer is running (Subscribe); a dynamic subscriber joins
+// at the next batch boundary and sees the stream from there on. A
+// subscriber that cancels is retired by the producer: its channel is
+// drained, every stranded batch is released back to the pool, and it is
+// removed from the live set.
+//
 // Memory is bounded at O(subscribers * fanoutChanBuffer * batch), so a
 // slow subscriber throttles the producer instead of growing a queue.
 // Every subscriber must therefore be drained by its own goroutine (or
 // canceled); two subscribers consumed sequentially from one goroutine
 // deadlock by construction.
 type Fanout struct {
-	subs   []*FanoutSub
-	buf    []Event
-	closed bool
+	// mu guards subs, closed, and err. The producer-side batch buffer
+	// and each subscriber's dead flag are touched only by the producer
+	// goroutine and need no lock.
+	mu      sync.Mutex
+	subs    []*FanoutSub
+	closed  bool
+	err     error
+	initial []*FanoutSub // NewFanout's subscribers, for Source(i)
+	scratch []*FanoutSub // reused per-flush snapshot buffer
+	buf     []Event
 }
 
 // fanoutChanBuffer is each subscriber's channel capacity in batches:
@@ -42,8 +56,14 @@ type sharedBatch struct {
 }
 
 func (b *sharedBatch) release() {
-	if b.refs.Add(-1) == 0 {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
 		PutBatch(b.events[:cap(b.events)])
+	case n < 0:
+		// A batch released more times than it had references would put
+		// the same slice in the pool twice and corrupt whoever draws it
+		// next; fail loudly here, where the bug is, not there.
+		panic("trace: fanout batch over-released")
 	}
 }
 
@@ -52,16 +72,77 @@ func (b *sharedBatch) release() {
 func NewFanout(n int) *Fanout {
 	f := &Fanout{}
 	for i := 0; i < n; i++ {
-		f.subs = append(f.subs, &FanoutSub{
-			ch:     make(chan *sharedBatch, fanoutChanBuffer),
-			cancel: make(chan struct{}),
-		})
+		f.initial = append(f.initial, f.Subscribe())
 	}
 	return f
 }
 
-// Source returns subscriber i's end of the tee.
-func (f *Fanout) Source(i int) *FanoutSub { return f.subs[i] }
+// Source returns subscriber i's end of the tee, counting the
+// subscribers NewFanout created (dynamic subscribers are addressed by
+// the *FanoutSub that Subscribe returned).
+func (f *Fanout) Source(i int) *FanoutSub { return f.initial[i] }
+
+// Subscribe adds a subscriber. Called before the first Write it sees
+// the whole stream; called while the producer is running it joins at
+// the next batch boundary; called after Close it returns an already
+// terminated subscriber whose Next is the closing error (io.EOF for a
+// clean close). Subscribe is safe to call from any goroutine.
+func (f *Fanout) Subscribe() *FanoutSub {
+	s := &FanoutSub{
+		ch:     make(chan *sharedBatch, fanoutChanBuffer),
+		cancel: make(chan struct{}),
+	}
+	f.mu.Lock()
+	if f.closed {
+		s.err = f.err
+		close(s.ch)
+	} else {
+		f.subs = append(f.subs, s)
+	}
+	f.mu.Unlock()
+	return s
+}
+
+// snapshot copies the live subscriber set into the reused scratch
+// buffer. Only the producer calls it, so the buffer is never shared.
+func (f *Fanout) snapshot() []*FanoutSub {
+	f.mu.Lock()
+	f.scratch = append(f.scratch[:0], f.subs...)
+	f.mu.Unlock()
+	return f.scratch
+}
+
+// retire marks s dead, releases every batch stranded in its channel,
+// and removes it from the live set. Only the producer calls retire, and
+// the producer never sends to a dead subscriber again, so the channel
+// can only shrink here. The consumer's own Cancel drain may be
+// receiving concurrently; each stranded batch is received — and
+// released — by exactly one side. This is the fix for the old
+// cancel-during-flush race, where a send that won the select against a
+// subscriber whose Cancel drain had already run left the batch in the
+// channel with its references forever unreleased.
+func (f *Fanout) retire(s *FanoutSub) {
+	s.dead = true
+	for {
+		select {
+		case sb, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			sb.release()
+		default:
+			f.mu.Lock()
+			for i, x := range f.subs {
+				if x == s {
+					f.subs = append(f.subs[:i], f.subs[i+1:]...)
+					break
+				}
+			}
+			f.mu.Unlock()
+			return
+		}
+	}
+}
 
 // Write pushes one event to every live subscriber, batching internally.
 // It is shaped to be a workload sink (func(Event) error). Write blocks
@@ -85,17 +166,15 @@ func (f *Fanout) flush() error {
 	}
 	sb := &sharedBatch{events: f.buf}
 	f.buf = nil
+	subs := f.snapshot()
 	live := 0
-	for _, s := range f.subs {
-		if s.dead {
-			continue
-		}
+	for _, s := range subs {
 		// Poll cancel before counting: a send and a closed cancel are
 		// both ready in the select below, so without this check a
 		// canceled subscriber with channel space would keep receiving.
 		select {
 		case <-s.cancel:
-			s.dead = true
+			f.retire(s)
 		default:
 			live++
 		}
@@ -105,15 +184,15 @@ func (f *Fanout) flush() error {
 		return ErrFanoutDone
 	}
 	sb.refs.Store(int32(live))
-	for _, s := range f.subs {
+	for _, s := range subs {
 		if s.dead {
 			continue
 		}
 		select {
 		case s.ch <- sb:
 		case <-s.cancel:
-			s.dead = true
 			sb.release()
+			f.retire(s)
 		}
 	}
 	return nil
@@ -121,16 +200,33 @@ func (f *Fanout) flush() error {
 
 // Close flushes the final partial batch and ends every subscriber's
 // stream: with a nil err subscribers see io.EOF, otherwise they see
-// err. Close must be called exactly once, after the last Write.
+// err. Close must be called exactly once, after the last Write, from
+// the producer goroutine.
 func (f *Fanout) Close(err error) {
+	f.mu.Lock()
 	if f.closed {
+		f.mu.Unlock()
 		return
 	}
-	f.closed = true
+	f.mu.Unlock()
 	if ferr := f.flush(); ferr != nil && err == nil && ferr != ErrFanoutDone {
 		err = ferr
 	}
-	for _, s := range f.subs {
+	f.mu.Lock()
+	f.closed = true
+	f.err = err
+	subs := append([]*FanoutSub(nil), f.subs...)
+	f.subs = nil
+	f.mu.Unlock()
+	for _, s := range subs {
+		// A subscriber that canceled after the last flush polled it may
+		// still hold batches a racing send left behind; reclaim them
+		// before ending its stream.
+		select {
+		case <-s.cancel:
+			f.retire(s)
+		default:
+		}
 		s.err = err
 		close(s.ch)
 	}
@@ -142,7 +238,7 @@ type FanoutSub struct {
 	ch     chan *sharedBatch
 	cancel chan struct{}
 	err    error // terminal error, readable after ch closes
-	dead   bool  // producer-side: subscriber canceled
+	dead   bool  // producer-side: subscriber canceled and retired
 
 	once sync.Once
 	cur  *sharedBatch
@@ -198,11 +294,12 @@ func (s *FanoutSub) NextBatch(buf []Event) (int, error) {
 }
 
 // Cancel tells the producer this subscriber is done; the producer stops
-// sending to it and no longer blocks on its channel. Safe to call more
-// than once, and always safe to defer — canceling after a clean EOF is
-// a no-op. Batches already queued are released opportunistically; any
-// that race a concurrent send are reclaimed by the garbage collector
-// rather than the pool.
+// sending to it, drains anything already queued, and drops it from the
+// live set. Safe to call more than once, and always safe to defer —
+// canceling after a clean EOF is a no-op. Batches queued at cancel time
+// are released here when possible; one that races a concurrent send is
+// reclaimed by the producer when it next touches this subscriber
+// (flush or Close), so no batch is ever stranded away from the pool.
 func (s *FanoutSub) Cancel() {
 	s.once.Do(func() { close(s.cancel) })
 	if s.cur != nil {
