@@ -13,7 +13,12 @@
 //     trace in batches;
 //   - tape-build: the incremental transfer-tape builder doing the same;
 //   - recover: the self-healing repair pass (the -lenient ingestion
-//     tax) streaming the same trace.
+//     tax) streaming the same trace;
+//   - policy-sweep-lru: the Figure 5 cache-size grid replayed LRU-only
+//     (events = logical accesses, summed over the grid);
+//   - policy-sweep-zoo: the same grid across all nine replacement
+//     policies — the bookkeeping tax of the adaptive policies, which
+//     -smoke bounds to 1.5x of the LRU-only row per access.
 //
 // Each stage reports events/second plus the GOMAXPROCS it ran at and its
 // worker count, so serial and parallel rows land in one file and a
@@ -46,6 +51,7 @@ import (
 	"time"
 
 	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/cachesim"
 	"bsdtrace/internal/obs"
 	"bsdtrace/internal/trace"
 	"bsdtrace/internal/workload"
@@ -239,6 +245,8 @@ func smokeCheck(rec benchRecord) error {
 	}
 	serial := map[key]float64{}
 	par := map[key]float64{}
+	lru := map[key]float64{}
+	zoo := map[key]float64{}
 	for _, r := range rec.Results {
 		k := key{r.Procs, r.Scale}
 		switch r.Stage {
@@ -246,6 +254,10 @@ func smokeCheck(rec benchRecord) error {
 			serial[k] = r.EventsPerSec
 		case "parallel-generate":
 			par[k] = r.EventsPerSec
+		case "policy-sweep-lru":
+			lru[k] = r.EventsPerSec
+		case "policy-sweep-zoo":
+			zoo[k] = r.EventsPerSec
 		}
 	}
 	for k, s := range serial {
@@ -260,6 +272,23 @@ func smokeCheck(rec benchRecord) error {
 	}
 	if len(serial) == 0 {
 		return fmt.Errorf("no generate rows in record")
+	}
+	// The zoo replay counts one event per logical access per config, the
+	// same unit as the LRU-only row, so per-access throughput across the
+	// nine policies must stay within 1.5x of the LRU-only baseline — the
+	// adaptive policies' bookkeeping tax, bounded.
+	for k, l := range lru {
+		z, ok := zoo[k]
+		if !ok {
+			return fmt.Errorf("no policy-sweep-zoo row for procs=%d scale=%g", k.procs, k.scale)
+		}
+		if z*1.5 < l {
+			return fmt.Errorf("policy-sweep-zoo more than 1.5x slower than LRU-only at procs=%d scale=%g: %.0f vs %.0f accesses/sec",
+				k.procs, k.scale, z, l)
+		}
+	}
+	if len(lru) == 0 {
+		return fmt.Errorf("no policy-sweep-lru rows in record")
 	}
 	return nil
 }
@@ -366,6 +395,47 @@ func benchScale(reg *obs.Registry, seed int64, duration trace.Time, scale float6
 	trace.PutBatch(buf)
 	sp.End()
 	results = append(results, row(scale, "recover", procs, 1, sp))
+
+	// Stage 7: the Figure 5 cache sweep replayed LRU-only — the
+	// single-policy baseline. Events are the logical block accesses
+	// replayed, summed over every configuration in the grid, so the
+	// events/sec of this row and the zoo row below are directly
+	// comparable per unit of replay work.
+	sizes := cachesim.PaperCacheSizes()
+	lruCfgs := make([]cachesim.Config, 0, len(sizes))
+	for _, cs := range sizes {
+		lruCfgs = append(lruCfgs, cachesim.Config{
+			BlockSize: 4096, CacheSize: cs,
+			Write: cachesim.DelayedWrite, Replacement: cachesim.LRU, Seed: seed,
+		})
+	}
+	sp = reg.StartSpan(label("policy-sweep-lru"))
+	rs, err := cachesim.MultiSimulate(tape, lruCfgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		sp.AddOut(r.LogicalAccesses)
+	}
+	sp.End()
+	results = append(results, row(scale, "policy-sweep-lru", procs, len(lruCfgs), sp))
+
+	// Stage 8: the same grid across the whole replacement-policy zoo.
+	// The adaptive policies (ARC, LIRS, TinyLFU) do more bookkeeping per
+	// access than LRU's list splice; the smoke check bounds that tax.
+	sp = reg.StartSpan(label("policy-sweep-zoo"))
+	zoo, err := cachesim.ZooSweepTape(tape, 4096, sizes, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, zr := range zoo {
+		for _, r := range zr {
+			sp.AddOut(r.LogicalAccesses)
+		}
+	}
+	sp.End()
+	results = append(results, row(scale, "policy-sweep-zoo", procs,
+		len(sizes)*len(cachesim.AllReplacements()), sp))
 
 	return results, nil
 }

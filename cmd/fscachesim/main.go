@@ -12,6 +12,8 @@
 //	fscachesim -sweep tableVII a5.trace    # block size x cache size
 //	fscachesim -sweep fig7 a5.trace        # page-in simulated vs ignored
 //	fscachesim -sweep replacement a5.trace # LRU vs FIFO vs Clock vs Random
+//	fscachesim -sweep zoo a5.trace         # Figures 5-7 across the whole policy zoo
+//	fscachesim -sweep tiers a5.trace       # RAM/flash/disk hierarchy with latency and wear
 //	fscachesim -sweep flush a5.trace       # flush-back interval sweep
 //
 // Crash injection (the reliability side of the write-policy trade):
@@ -58,9 +60,9 @@ func main() {
 		block    = flag.String("block", "4K", "block size")
 		policy   = flag.String("policy", "delayed", "write policy: through, flush, delayed")
 		flush    = flag.Duration("flush", 30*time.Second, "flush-back interval (with -policy flush)")
-		replace  = flag.String("replace", "lru", "replacement: lru, fifo, clock, random")
+		replace  = flag.String("replace", "lru", "replacement: lru, fifo, clock, random, arc, 2q, slru, lirs, tinylfu")
 		paging   = flag.Bool("paging", false, "simulate program page-in as whole-file reads")
-		sweep    = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, flush")
+		sweep    = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, zoo, tiers, flush")
 		crashN   = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
 		crashAt  = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
 		lenient  = flag.Bool("lenient", false, "repair damaged traces and simulate what survives instead of failing on partial ingest")
@@ -148,17 +150,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fscachesim: unknown policy %q\n", *policy)
 		os.Exit(1)
 	}
-	switch strings.ToLower(*replace) {
-	case "lru":
-		cfg.Replacement = cachesim.LRU
-	case "fifo":
-		cfg.Replacement = cachesim.FIFO
-	case "clock":
-		cfg.Replacement = cachesim.Clock
-	case "random":
-		cfg.Replacement = cachesim.Random
-	default:
-		fmt.Fprintf(os.Stderr, "fscachesim: unknown replacement %q\n", *replace)
+	if cfg.Replacement, err = cachesim.ParseReplacement(*replace); err != nil {
+		fmt.Fprintln(os.Stderr, "fscachesim:", err)
 		os.Exit(1)
 	}
 
@@ -301,6 +294,71 @@ func runSweep(w *os.File, tape *xfer.Tape, name string, reg *obs.Registry) error
 			t.AddRow(rp.String(), report.Count(r.DiskIOs()), report.Pct(r.MissRatio()))
 		}
 		return t.Render(w)
+	case "zoo":
+		sizes := cachesim.PaperCacheSizes()
+		res, err := cachesim.ZooSweepTape(tape, 4096, sizes, 1)
+		if err != nil {
+			return err
+		}
+		for _, row := range res {
+			cachesim.PublishResults(reg, "sim", row...)
+		}
+		if err := report.ZooTable(sizes, res).Render(w); err != nil {
+			return err
+		}
+		bres, err := cachesim.ZooBlockSizeSweepTape(tape, cachesim.PaperBlockSizes(), 2<<20, 1)
+		if err != nil {
+			return err
+		}
+		if err := report.ZooBlockTable(cachesim.PaperBlockSizes(), 2<<20, bres).Render(w); err != nil {
+			return err
+		}
+		pres, err := cachesim.ZooPagingSweepTape(tape, 4096, sizes, 1)
+		if err != nil {
+			return err
+		}
+		return report.ZooPagingTable(sizes, pres).Render(w)
+	case "tiers":
+		res, err := cachesim.HierarchySimulateTapes([]*xfer.Tape{tape}, cachesim.HierarchyConfig{
+			BlockSize: 4096,
+			Tiers: []cachesim.Tier{
+				{Name: "ram", Size: cachesim.UnixCacheSize, Replacement: cachesim.LRU,
+					Write: cachesim.WriteThrough},
+				{Name: "flash", Size: 4 << 20, Replacement: cachesim.ARC, Seed: 1,
+					Write: cachesim.DelayedWrite,
+					ReadLatency: trace.Millisecond, WriteLatency: 2 * trace.Millisecond,
+					EnduranceWrites: 100_000},
+				{Name: "disk", ReadLatency: 10 * trace.Millisecond,
+					WriteLatency: 10 * trace.Millisecond},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		t := &report.Table{
+			Title:  "Three-tier hierarchy: 390-kbyte RAM over 4-Mbyte flash (ARC) over disk.",
+			Header: []string{"Tier", "Size", "Reads", "Writes", "Hit Ratio", "Busy", "Max Wear"},
+			Note: "The paper's diskless-workstation question with a flash tier in the " +
+				"middle: each tier's read misses and write-backs become the traffic of " +
+				"the tier below. Busy is device service time; Max Wear the heaviest " +
+				"per-block write count (flash budget 100,000 writes).",
+		}
+		for i := range res.Tiers {
+			tr := &res.Tiers[i]
+			size := report.Size(tr.Size)
+			if tr.Size <= 0 {
+				size = "unbounded"
+			}
+			t.AddRow(tr.Name, size, report.Count(tr.Reads), report.Count(tr.Writes),
+				report.Pct(tr.HitRatio()), tr.BusyTime.String(), report.Count(tr.MaxBlockWrites))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "end-to-end miss ratio %s; network blocks %s; disk I/Os %s\n\n",
+			report.Pct(res.EndToEndMissRatio()), report.Count(res.NetworkBlocks()),
+			report.Count(res.DiskReads()+res.DiskWrites()))
+		return nil
 	case "stack":
 		r, err := cachesim.StackDistancesTape(tape, 4096)
 		if err != nil {

@@ -44,7 +44,7 @@ func TestRunSweeps(t *testing.T) {
 		t.Fatal(err)
 	}
 	// runSweep writes to an *os.File; use a temp file and read it back.
-	for _, sweep := range []string{"tableVI", "tableVII", "fig7", "replacement", "flush", "stack"} {
+	for _, sweep := range []string{"tableVI", "tableVII", "fig7", "replacement", "zoo", "tiers", "flush", "stack"} {
 		f, err := os.Create(filepath.Join(t.TempDir(), sweep+".txt"))
 		if err != nil {
 			t.Fatal(err)

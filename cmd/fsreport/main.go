@@ -86,7 +86,7 @@ func main() {
 	var (
 		duration   = flag.Duration("duration", 8*time.Hour, "simulated time span per trace")
 		seed       = flag.Int64("seed", 1, "random seed")
-		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, reliability, metadata, fragmentation, server, diskless, workingset, static, fig1..fig7")
+		only       = flag.String("only", "", "render a single item: tableI, tableIII, tableIV, tableV, tableVI, tableVII, intervals, sharing, residency, reliability, metadata, fragmentation, server, diskless, workingset, static, zoo, fig1..fig7")
 		ablations  = flag.Bool("ablations", false, "also run the beyond-the-paper ablations (A1, A2, A3, A4)")
 		scale      = flag.Float64("scale", 1.0, "user population multiplier per machine")
 		shards     = flag.Int("shards", 1, "generate each machine's population as N concurrent shards")
@@ -547,7 +547,11 @@ func run(w io.Writer, cfg reportConfig) error {
 		want("residency") || want("metadata")
 	needBlock := cfg.dataDir != "" || want("tableI") || want("tableVII") || want("fig6")
 	needPaging := cfg.dataDir != "" || want("fig7")
-	needTape := needPolicy || needBlock || needPaging ||
+	// The zoo comparison renders only on explicit request: it multiplies
+	// every figure by nine policies, which the default report (and the
+	// golden file) does not carry.
+	needZoo := strings.EqualFold(cfg.only, "zoo")
+	needTape := needPolicy || needBlock || needPaging || needZoo ||
 		want("workingset") || want("reliability") || cfg.ablations
 	needMachineTapes := want("server") || want("diskless")
 	needFrag := want("fragmentation")
@@ -908,6 +912,11 @@ func run(w io.Writer, cfg reportConfig) error {
 			return err
 		}
 	}
+	if needZoo {
+		if err := runZoo(w, a5Tape, cfg.seed); err != nil {
+			return err
+		}
+	}
 	if want("static") {
 		if err := runStatic(w, a5Static, tr.Analyses[0]); err != nil {
 			return err
@@ -1117,6 +1126,34 @@ func runDiskless(w io.Writer, duration time.Duration, tapes []*xfer.Tape) error 
 			report.Pct(r.EndToEndMissRatio()))
 	}
 	return t.Render(w)
+}
+
+// runZoo renders the policy-zoo comparison: the Figure 5, 6, and 7
+// experiments re-run with one column per replacement policy in the
+// simulator's zoo. The lru column of the first table reproduces Table
+// VI's delayed-write column cell for cell (the golden tests pin this).
+func runZoo(w io.Writer, tape *xfer.Tape, seed int64) error {
+	cacheSizes := cachesim.PaperCacheSizes()
+	zoo, err := cachesim.ZooSweepTape(tape, 4096, cacheSizes, seed)
+	if err != nil {
+		return err
+	}
+	if err := report.ZooTable(cacheSizes, zoo).Render(w); err != nil {
+		return err
+	}
+	const zooCache = 2 << 20
+	blocks, err := cachesim.ZooBlockSizeSweepTape(tape, cachesim.PaperBlockSizes(), zooCache, seed)
+	if err != nil {
+		return err
+	}
+	if err := report.ZooBlockTable(cachesim.PaperBlockSizes(), zooCache, blocks).Render(w); err != nil {
+		return err
+	}
+	paging, err := cachesim.ZooPagingSweepTape(tape, 4096, cacheSizes, seed)
+	if err != nil {
+		return err
+	}
+	return report.ZooPagingTable(cacheSizes, paging).Render(w)
 }
 
 // runWorkingSet prints Denning's W(T): the distinct data touched per

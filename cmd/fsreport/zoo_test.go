@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePctRows scans one rendered table: from the line beginning with
+// title to the next blank line, it returns each data row (first field
+// starts with a digit) as label -> the row's percentage cells in column
+// order.
+func parsePctRows(t *testing.T, out, title string) map[string][]string {
+	t.Helper()
+	rows := map[string][]string{}
+	in := false
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, title) {
+			in = true
+			continue
+		}
+		if !in {
+			continue
+		}
+		if strings.TrimSpace(ln) == "" {
+			break
+		}
+		fields := strings.Fields(ln)
+		if len(fields) == 0 || fields[0][0] < '0' || fields[0][0] > '9' {
+			continue
+		}
+		var label, pcts []string
+		for _, f := range fields {
+			if strings.HasSuffix(f, "%") {
+				pcts = append(pcts, f)
+			} else if len(pcts) == 0 {
+				label = append(label, f)
+			}
+		}
+		if len(pcts) > 0 {
+			rows[strings.Join(label, " ")] = pcts
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no data rows found under table %q", title)
+	}
+	return rows
+}
+
+const zooTableTitle = "Policy zoo: miss ratio vs. cache size"
+
+// TestRunZoo drives -only zoo on a short trace: all three comparison
+// tables render with every policy column, nothing else leaks, and the
+// lru column agrees cell for cell with Table VI's delayed-write column
+// from an identically seeded run — the LRU baseline cannot drift just
+// because eight more policies ran beside it.
+func TestRunZoo(t *testing.T) {
+	var zoo bytes.Buffer
+	if err := run(&zoo, reportConfig{duration: 10 * time.Minute, seed: 1, only: "zoo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := zoo.String()
+	for _, want := range []string{
+		zooTableTitle,
+		"Policy zoo: disk I/Os vs. block size",
+		"Policy zoo: miss ratio with paging simulated",
+		"lru", "fifo", "clock", "random", "arc", "2q", "slru", "lirs", "tinylfu",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zoo report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Table VI.") || strings.Contains(out, "Figure 5.") {
+		t.Error("-only zoo leaked other sections")
+	}
+
+	var six bytes.Buffer
+	if err := run(&six, reportConfig{duration: 10 * time.Minute, seed: 1, only: "tableVI"}); err != nil {
+		t.Fatal(err)
+	}
+	zooRows := parsePctRows(t, out, zooTableTitle)
+	sixRows := parsePctRows(t, six.String(), "Table VI.")
+	if len(zooRows) != len(sixRows) {
+		t.Fatalf("zoo table has %d rows, Table VI %d", len(zooRows), len(sixRows))
+	}
+	for label, pcts := range sixRows {
+		zp, ok := zooRows[label]
+		if !ok {
+			t.Errorf("zoo table missing row %q", label)
+			continue
+		}
+		// Table VI's last column is delayed-write; the zoo's first is lru
+		// (same policy, same write discipline, same seed).
+		if zp[0] != pcts[len(pcts)-1] {
+			t.Errorf("row %q: zoo lru %s, Table VI delayed-write %s", label, zp[0], pcts[len(pcts)-1])
+		}
+	}
+}
+
+// TestZooLRUColumnMatchesGolden regenerates the zoo comparison on the
+// golden configuration (8-hour A5 trace, seed 1) and holds its lru
+// column to the committed golden report's Table VI delayed-write
+// column, byte for byte per cell.
+func TestZooLRUColumnMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-hour zoo regeneration skipped in -short mode")
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	goldenRows := parsePctRows(t, string(golden), "Table VI.")
+
+	var buf bytes.Buffer
+	if err := run(&buf, reportConfig{duration: 8 * time.Hour, seed: 1, only: "zoo"}); err != nil {
+		t.Fatal(err)
+	}
+	zooRows := parsePctRows(t, buf.String(), zooTableTitle)
+	if len(zooRows) != len(goldenRows) {
+		t.Fatalf("zoo table has %d rows, golden Table VI %d", len(zooRows), len(goldenRows))
+	}
+	for label, pcts := range goldenRows {
+		zp, ok := zooRows[label]
+		if !ok {
+			t.Errorf("zoo table missing golden row %q", label)
+			continue
+		}
+		if zp[0] != pcts[len(pcts)-1] {
+			t.Errorf("row %q: zoo lru %s, golden delayed-write %s", label, zp[0], pcts[len(pcts)-1])
+		}
+	}
+}

@@ -116,6 +116,9 @@ func (c *Config) fill() error {
 	if c.CacheSize <= 0 {
 		return fmt.Errorf("cachesim: cache size %d must be positive", c.CacheSize)
 	}
+	if c.Replacement >= numReplacements {
+		return fmt.Errorf("cachesim: unknown replacement policy %d", c.Replacement)
+	}
 	if c.Write == FlushBack && c.FlushInterval <= 0 {
 		return fmt.Errorf("cachesim: flush-back needs a positive interval")
 	}
@@ -261,7 +264,7 @@ func newCache(tape *xfer.Tape, r *resolved, cfg Config) *cache {
 		capacity: capacity,
 		res:      &Result{Config: cfg},
 		blocks:   make([]*block, r.nBlocks()),
-		pol:      newReplacer(cfg.Replacement, cfg.Seed),
+		pol:      newReplacer(cfg.Replacement, capacity, cfg.Seed),
 		// Residency spans 10 ms to days.
 		residency: stats.NewLogHistogram(0.01, 1.35, 60),
 	}

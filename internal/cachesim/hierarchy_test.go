@@ -1,0 +1,207 @@
+package cachesim
+
+import (
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+func hierarchyMachines(t *testing.T) []*xfer.Tape {
+	t.Helper()
+	tapes := make([]*xfer.Tape, 3)
+	for m, seed := range []int64{5, 9, 13} {
+		tapes[m] = mustTape(t, randomTrace(seed, 400))
+	}
+	return tapes
+}
+
+// TestHierarchyMatchesTwoLevel is the equivalence oracle for the N-tier
+// engine: a hierarchy of [write-through client, server, disk] is by
+// construction the same machine as TwoLevelSimulateTapes, so every
+// count must agree exactly — client misses, write forwards, and the
+// server's disk reads and writes — under each server write policy.
+func TestHierarchyMatchesTwoLevel(t *testing.T) {
+	tapes := hierarchyMachines(t)
+	cases := []struct {
+		name  string
+		write WritePolicy
+		flush trace.Time
+	}{
+		{"write-through", WriteThrough, 0},
+		{"delayed-write", DelayedWrite, 0},
+		{"flush-back", FlushBack, 30 * trace.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			two, err := TwoLevelSimulateTapes(tapes, TwoLevelConfig{
+				BlockSize:   4096,
+				ClientCache: 64 * 4096,
+				ServerCache: 1 << 20,
+				Write:       tc.write, FlushInterval: tc.flush,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := HierarchySimulateTapes(tapes, HierarchyConfig{
+				BlockSize: 4096,
+				Tiers: []Tier{
+					{Name: "client", Size: 64 * 4096, Replacement: LRU, Write: WriteThrough},
+					{Name: "server", Size: 1 << 20, Replacement: LRU, Write: tc.write, FlushInterval: tc.flush},
+					{Name: "disk"},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.ClientAccesses != two.ClientAccesses {
+				t.Errorf("client accesses %d, two-level %d", h.ClientAccesses, two.ClientAccesses)
+			}
+			if h.Tiers[0].ReadMisses != two.ClientReadMisses {
+				t.Errorf("client read misses %d, two-level %d", h.Tiers[0].ReadMisses, two.ClientReadMisses)
+			}
+			if h.Tiers[0].WriteBacks != two.WriteForwards {
+				t.Errorf("write forwards %d, two-level %d", h.Tiers[0].WriteBacks, two.WriteForwards)
+			}
+			if h.NetworkBlocks() != two.NetworkBlocks {
+				t.Errorf("network blocks %d, two-level %d", h.NetworkBlocks(), two.NetworkBlocks)
+			}
+			if h.DiskReads() != two.ServerDiskReads {
+				t.Errorf("disk reads %d, two-level %d", h.DiskReads(), two.ServerDiskReads)
+			}
+			if h.DiskWrites() != two.ServerDiskWrites {
+				t.Errorf("disk writes %d, two-level %d", h.DiskWrites(), two.ServerDiskWrites)
+			}
+			if h.EndToEndMissRatio() != two.EndToEndMissRatio() {
+				t.Errorf("end-to-end miss ratio %v, two-level %v", h.EndToEndMissRatio(), two.EndToEndMissRatio())
+			}
+		})
+	}
+}
+
+// TestHierarchyThreeTier exercises a RAM/flash/disk stack with a zoo
+// policy in the middle and checks the flow-conservation invariants:
+// every operation a tier forwards arrives at the tier below, busy time
+// follows the latency model, wear tracks media writes, and reruns are
+// bit-identical.
+func TestHierarchyThreeTier(t *testing.T) {
+	tapes := hierarchyMachines(t)
+	cfg := HierarchyConfig{
+		BlockSize: 4096,
+		Tiers: []Tier{
+			{Name: "ram", Size: 32 * 4096, Replacement: LRU, Write: WriteThrough},
+			{Name: "flash", Size: 1 << 20, Replacement: ARC, Seed: 1, Write: DelayedWrite,
+				ReadLatency: 1 * trace.Millisecond, WriteLatency: 2 * trace.Millisecond,
+				EnduranceWrites: 1000},
+			{Name: "disk",
+				ReadLatency: 10 * trace.Millisecond, WriteLatency: 10 * trace.Millisecond},
+		},
+	}
+	h, err := HierarchySimulateTapes(tapes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, flash, disk := &h.Tiers[0], &h.Tiers[1], &h.Tiers[2]
+	if flash.Reads != ram.ReadMisses {
+		t.Errorf("flash saw %d reads, ram forwarded %d", flash.Reads, ram.ReadMisses)
+	}
+	if flash.Writes != ram.WriteBacks {
+		t.Errorf("flash saw %d writes, ram forwarded %d", flash.Writes, ram.WriteBacks)
+	}
+	if disk.Reads != flash.ReadMisses {
+		t.Errorf("disk saw %d reads, flash forwarded %d", disk.Reads, flash.ReadMisses)
+	}
+	if disk.Writes != flash.WriteBacks {
+		t.Errorf("disk saw %d writes, flash forwarded %d", disk.Writes, flash.WriteBacks)
+	}
+	if flash.Fills != flash.ReadMisses {
+		t.Errorf("flash fills %d, read misses %d", flash.Fills, flash.ReadMisses)
+	}
+	if hr := flash.HitRatio(); hr < 0 || hr > 1 {
+		t.Errorf("flash hit ratio %v out of range", hr)
+	}
+	wantBusy := cfg.Tiers[1].ReadLatency*trace.Time(flash.Reads) +
+		cfg.Tiers[1].WriteLatency*trace.Time(flash.Writes+flash.Fills)
+	if flash.BusyTime != wantBusy {
+		t.Errorf("flash busy time %v, want %v", flash.BusyTime, wantBusy)
+	}
+	if flash.Writes+flash.Fills > 0 {
+		if flash.MaxBlockWrites < 1 {
+			t.Error("flash media written but MaxBlockWrites = 0")
+		}
+		if flash.MeanBlockWrites <= 0 || flash.MeanBlockWrites > float64(flash.MaxBlockWrites) {
+			t.Errorf("flash mean block writes %v vs max %d", flash.MeanBlockWrites, flash.MaxBlockWrites)
+		}
+		want := float64(flash.MaxBlockWrites) / float64(cfg.Tiers[1].EnduranceWrites)
+		if flash.WearFraction != want {
+			t.Errorf("flash wear fraction %v, want %v", flash.WearFraction, want)
+		}
+	}
+	if disk.Writes > 0 && disk.WearFraction != 0 {
+		t.Errorf("disk has no endurance budget but wear fraction %v", disk.WearFraction)
+	}
+	if ram.MaxBlockWrites != 0 {
+		t.Errorf("tier 0 wear tracked (%d), want untracked", ram.MaxBlockWrites)
+	}
+
+	again, err := HierarchySimulateTapes(tapes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h.Tiers {
+		a, b := h.Tiers[i], again.Tiers[i]
+		if a != b {
+			t.Errorf("tier %d rerun differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestHierarchyZooTiers runs every policy as the shared-tier policy of
+// a three-tier stack: the engine must accept the whole zoo.
+func TestHierarchyZooTiers(t *testing.T) {
+	tapes := hierarchyMachines(t)[:1]
+	for _, rep := range AllReplacements() {
+		h, err := HierarchySimulateTapes(tapes, HierarchyConfig{
+			BlockSize: 4096,
+			Tiers: []Tier{
+				{Name: "ram", Size: 16 * 4096, Replacement: LRU, Write: WriteThrough},
+				{Name: "mid", Size: 256 * 4096, Replacement: rep, Seed: 1, Write: DelayedWrite},
+				{Name: "disk"},
+			},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", rep, err)
+		}
+		if h.DiskReads() > h.Tiers[1].Reads {
+			t.Errorf("%v: disk reads %d exceed mid-tier reads %d", rep, h.DiskReads(), h.Tiers[1].Reads)
+		}
+	}
+}
+
+// TestHierarchyValidation: malformed tier stacks must be rejected up
+// front.
+func TestHierarchyValidation(t *testing.T) {
+	tapes := hierarchyMachines(t)[:1]
+	bad := []HierarchyConfig{
+		{BlockSize: 4096, Tiers: []Tier{{Name: "disk"}}}, // one tier
+		{BlockSize: 4096, Tiers: []Tier{ // finite final tier
+			{Name: "ram", Size: 1 << 20}, {Name: "disk", Size: 1 << 20}}},
+		{BlockSize: 4096, Tiers: []Tier{ // unbounded middle tier
+			{Name: "ram", Size: 1 << 20}, {Name: "mid"}, {Name: "disk"}}},
+		{BlockSize: 4096, Tiers: []Tier{ // unknown policy
+			{Name: "ram", Size: 1 << 20, Replacement: numReplacements}, {Name: "disk"}}},
+		{BlockSize: 0, Tiers: []Tier{ // bad block size
+			{Name: "ram", Size: 1 << 20}, {Name: "disk"}}},
+	}
+	for i, cfg := range bad {
+		if _, err := HierarchySimulateTapes(tapes, cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := HierarchySimulateTapes(nil, bad[0]); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := HierarchySimulate(nil, bad[0]); err == nil {
+		t.Error("HierarchySimulate with zero machines accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package cachesim
+
+// LIRS (Jiang & Zhang, SIGMETRICS 2002). Blocks are classified by
+// inter-reference recency (IRR): LIR blocks (low IRR, re-referenced
+// within a stack's worth of history) own almost all of the cache, and a
+// small queue Q of HIR (high IRR) blocks absorbs the churn. The LIRS
+// stack S orders LIR blocks, resident HIR blocks, and non-resident HIR
+// ghosts by recency; a HIR block re-referenced while still on S has, by
+// construction, an IRR smaller than the current maximum LIR recency and
+// is promoted to LIR, demoting the stack-bottom LIR block to HIR.
+//
+// Sizing follows the paper: Q holds 1% of the capacity (at least one
+// block), the LIR set the rest. Ghost entries (non-resident HIR) are
+// bounded at 2x capacity; because a ghost never moves within S while it
+// remains a ghost, a separate FIFO threaded through the entries yields
+// the oldest ghost in O(1) without scanning S.
+//
+// Victims come from the front (oldest end) of Q; if purges have emptied
+// Q, the bottommost LIR block on S stands in.
+
+const (
+	lirBlock uint8 = iota
+	hirResident
+	hirGhost
+)
+
+// lirsEntry is one identity's standing in the LIRS history: every block
+// on stack S or queue Q has one, including non-resident ghosts.
+type lirsEntry struct {
+	id           int32
+	state        uint8
+	b            *block // resident frame; nil for ghosts
+	inS          bool
+	sPrev, sNext *lirsEntry // stack S links; sPrev = toward the top
+	gPrev, gNext *lirsEntry // ghost FIFO links (hirGhost only)
+}
+
+type lirsPolicy struct {
+	byID map[int32]*lirsEntry
+	// Stack S: sTop is the most recently referenced entry.
+	sTop, sBot *lirsEntry
+	// Queue Q of resident HIR blocks, as an intrusive block list:
+	// front = most recently queued, tail = eviction candidate.
+	q blockList
+	// Ghost FIFO: gHead is the oldest ghost.
+	gHead, gTail *lirsEntry
+
+	lirCap   int // target LIR population (capacity - Q share)
+	nLIR     int
+	ghostCap int
+	nGhost   int
+	resident int
+}
+
+func newLIRSPolicy(capacity int) *lirsPolicy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	hirCap := capacity / 100
+	if hirCap < 1 {
+		hirCap = 1
+	}
+	return &lirsPolicy{
+		byID:     make(map[int32]*lirsEntry),
+		lirCap:   capacity - hirCap,
+		ghostCap: 2 * capacity,
+	}
+}
+
+// Stack S primitives.
+
+func (p *lirsPolicy) stackPush(e *lirsEntry) {
+	e.sPrev = nil
+	e.sNext = p.sTop
+	if p.sTop != nil {
+		p.sTop.sPrev = e
+	}
+	p.sTop = e
+	if p.sBot == nil {
+		p.sBot = e
+	}
+	e.inS = true
+}
+
+func (p *lirsPolicy) stackRemove(e *lirsEntry) {
+	if e.sPrev != nil {
+		e.sPrev.sNext = e.sNext
+	} else {
+		p.sTop = e.sNext
+	}
+	if e.sNext != nil {
+		e.sNext.sPrev = e.sPrev
+	} else {
+		p.sBot = e.sPrev
+	}
+	e.sPrev, e.sNext = nil, nil
+	e.inS = false
+}
+
+func (p *lirsPolicy) stackMoveToTop(e *lirsEntry) {
+	if e.inS {
+		if p.sTop == e {
+			return
+		}
+		p.stackRemove(e)
+	}
+	p.stackPush(e)
+}
+
+// prune pops non-LIR entries off the stack bottom until a LIR block (or
+// nothing) anchors it — the stack-bottom LIR block defines the maximum
+// IRR worth remembering, so deeper history is useless.
+func (p *lirsPolicy) prune() {
+	for p.sBot != nil && p.sBot.state != lirBlock {
+		e := p.sBot
+		p.stackRemove(e)
+		if e.state == hirGhost {
+			p.ghostUnlink(e)
+			delete(p.byID, e.id)
+		}
+		// A resident HIR entry stays in Q and byID; it merely loses its
+		// chance at promotion.
+	}
+}
+
+// Ghost FIFO primitives.
+
+func (p *lirsPolicy) ghostPush(e *lirsEntry) {
+	e.gPrev = p.gTail
+	e.gNext = nil
+	if p.gTail != nil {
+		p.gTail.gNext = e
+	}
+	p.gTail = e
+	if p.gHead == nil {
+		p.gHead = e
+	}
+	p.nGhost++
+}
+
+func (p *lirsPolicy) ghostUnlink(e *lirsEntry) {
+	if e.gPrev != nil {
+		e.gPrev.gNext = e.gNext
+	} else {
+		p.gHead = e.gNext
+	}
+	if e.gNext != nil {
+		e.gNext.gPrev = e.gPrev
+	} else {
+		p.gTail = e.gPrev
+	}
+	e.gPrev, e.gNext = nil, nil
+	p.nGhost--
+}
+
+func (p *lirsPolicy) dropOldestGhost() {
+	e := p.gHead
+	if e == nil {
+		return
+	}
+	p.ghostUnlink(e)
+	if e.inS {
+		p.stackRemove(e)
+	}
+	delete(p.byID, e.id)
+	p.prune()
+}
+
+// demoteBottomLIR turns the stack-bottom LIR block into a resident HIR
+// block at the fresh end of Q.
+func (p *lirsPolicy) demoteBottomLIR() {
+	e := p.sBot
+	for e != nil && e.state != lirBlock {
+		e = e.sPrev
+	}
+	if e == nil {
+		return
+	}
+	p.stackRemove(e)
+	e.state = hirResident
+	p.nLIR--
+	p.q.pushFront(e.b)
+	p.prune()
+}
+
+func (p *lirsPolicy) insert(b *block) {
+	if e := p.byID[b.id]; e != nil && e.state == hirGhost {
+		// Ghost hit: the re-reference happened within stack history, so
+		// the block's IRR is low — it enters as LIR.
+		p.ghostUnlink(e)
+		e.b = b
+		e.state = lirBlock
+		p.nLIR++
+		p.resident++
+		p.stackMoveToTop(e)
+		if p.nLIR > p.lirCap {
+			p.demoteBottomLIR()
+		}
+		p.prune()
+		return
+	}
+	e := &lirsEntry{id: b.id, b: b}
+	p.byID[b.id] = e
+	p.resident++
+	if p.nLIR < p.lirCap {
+		// Warmup: the LIR set fills first.
+		e.state = lirBlock
+		p.nLIR++
+		p.stackPush(e)
+		return
+	}
+	e.state = hirResident
+	p.stackPush(e)
+	p.q.pushFront(b)
+}
+
+func (p *lirsPolicy) access(b *block) {
+	e := p.byID[b.id]
+	if e == nil {
+		return
+	}
+	switch e.state {
+	case lirBlock:
+		wasBottom := e == p.sBot
+		p.stackMoveToTop(e)
+		if wasBottom {
+			p.prune()
+		}
+	case hirResident:
+		if e.inS {
+			// IRR below the LIR threshold: promote.
+			e.state = lirBlock
+			p.nLIR++
+			p.stackMoveToTop(e)
+			p.q.remove(b)
+			if p.nLIR > p.lirCap {
+				p.demoteBottomLIR()
+			}
+			p.prune()
+			return
+		}
+		// Referenced but with high IRR: refresh both recency orders.
+		p.stackPush(e)
+		p.q.moveToFront(b)
+	}
+}
+
+func (p *lirsPolicy) remove(b *block) {
+	e := p.byID[b.id]
+	if e == nil {
+		return
+	}
+	if e.state == hirResident {
+		p.q.remove(b)
+		p.resident--
+		if e.inS {
+			// Keep the identity as a ghost: a quick re-reference still
+			// proves low IRR.
+			e.state = hirGhost
+			e.b = nil
+			p.ghostPush(e)
+			if p.nGhost > p.ghostCap {
+				p.dropOldestGhost()
+			}
+			return
+		}
+		delete(p.byID, b.id)
+		return
+	}
+	// A LIR block leaving the cache (purge, or the empty-Q fallback
+	// eviction) takes its history with it.
+	p.stackRemove(e)
+	delete(p.byID, b.id)
+	p.nLIR--
+	p.resident--
+	p.prune()
+}
+
+func (p *lirsPolicy) victim() *block {
+	if p.q.tail != nil {
+		return p.q.tail
+	}
+	// Q drained (purges, or a tiny cache that is all LIR): fall back to
+	// the coldest LIR block.
+	for e := p.sBot; e != nil; e = e.sPrev {
+		if e.state == lirBlock {
+			return e.b
+		}
+	}
+	return nil
+}
+
+func (p *lirsPolicy) len() int { return p.resident }

@@ -1,0 +1,89 @@
+package cachesim
+
+// Policy is the exported, block-ID-level face of a replacement policy,
+// the seam the differential test harness (replacertest), the fuzz
+// targets, and the multi-replay miss-curve fallback drive. It wraps the
+// internal replacer behind a residency directory, so callers speak in
+// plain block IDs and never see cache frames.
+//
+// Invalid operations are ignored rather than rejected: inserting a
+// resident ID, or accessing/removing a non-resident one, is a no-op.
+// That makes any operation sequence safe (the fuzz targets rely on it)
+// while keeping valid sequences bit-deterministic.
+//
+// Policy does not evict by itself — like the simulator's cache, the
+// caller runs the victim-then-remove discipline:
+//
+//	for p.Len() >= capacity {
+//		v, ok := p.Victim()
+//		if !ok {
+//			break
+//		}
+//		p.Remove(v)
+//	}
+//	p.Insert(id)
+type Policy struct {
+	r        replacer
+	capacity int
+	frames   map[int32]*block
+}
+
+// NewPolicy builds a policy instance for capacity blocks. The seed feeds
+// the Random policy and is ignored by the deterministic ones.
+func NewPolicy(r Replacement, capacity int, seed int64) *Policy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Policy{
+		r:        newReplacer(r, capacity, seed),
+		capacity: capacity,
+		frames:   make(map[int32]*block),
+	}
+}
+
+// Capacity returns the block capacity the policy was built for.
+func (p *Policy) Capacity() int { return p.capacity }
+
+// Len returns the number of resident blocks.
+func (p *Policy) Len() int { return p.r.len() }
+
+// Resident reports whether id is currently resident.
+func (p *Policy) Resident(id int32) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Insert makes id resident. Inserting a resident id is a no-op.
+func (p *Policy) Insert(id int32) {
+	if _, ok := p.frames[id]; ok {
+		return
+	}
+	b := &block{id: id}
+	p.frames[id] = b
+	p.r.insert(b)
+}
+
+// Access records a hit on a resident id; non-resident ids are ignored.
+func (p *Policy) Access(id int32) {
+	if b, ok := p.frames[id]; ok {
+		p.r.access(b)
+	}
+}
+
+// Remove evicts or purges a resident id; non-resident ids are ignored.
+func (p *Policy) Remove(id int32) {
+	if b, ok := p.frames[id]; ok {
+		p.r.remove(b)
+		delete(p.frames, id)
+	}
+}
+
+// Victim returns the policy's current eviction candidate, or ok=false on
+// an empty cache. The caller decides whether to Remove it.
+func (p *Policy) Victim() (int32, bool) {
+	b := p.r.victim()
+	if b == nil {
+		return 0, false
+	}
+	return b.id, true
+}

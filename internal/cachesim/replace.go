@@ -1,10 +1,17 @@
 package cachesim
 
-import "bsdtrace/internal/dist"
+import (
+	"fmt"
+	"strings"
+
+	"bsdtrace/internal/dist"
+)
 
 // Replacement selects the cache replacement policy. The paper's simulator
-// uses LRU exclusively; the others are ablations quantifying how much of
-// the cache's benefit depends on that choice.
+// uses LRU exclusively; the classic alternatives (FIFO, Clock, Random) are
+// ablations quantifying how much of the cache's benefit depends on that
+// choice, and the modern zoo (ARC, 2Q, SLRU, LIRS, TinyLFU) asks how far a
+// smarter policy could have pushed the 1985 curves.
 type Replacement uint8
 
 // Replacement policies.
@@ -17,9 +24,30 @@ const (
 	Clock
 	// Random evicts a uniformly random block.
 	Random
+	// ARC adapts the split between a recency list and a frequency list
+	// using ghosts of recently evicted blocks (Megiddo & Modha).
+	ARC
+	// TwoQ keeps first-touch blocks in a probationary FIFO and promotes
+	// only on a second miss that hits the ghost queue (Johnson & Shasha).
+	TwoQ
+	// SLRU segments the cache into a probationary and a protected LRU
+	// list; only a second access promotes into the protected segment.
+	SLRU
+	// LIRS ranks blocks by inter-reference recency rather than recency
+	// alone, keeping low-IRR blocks resident (Jiang & Zhang).
+	LIRS
+	// TinyLFU fronts an SLRU main cache with a tiny admission window and
+	// a count-min frequency sketch: a window victim displaces the main
+	// victim only if its estimated frequency is higher (Einziger et al.).
+	TinyLFU
+
+	// numReplacements is the exhaustive-iteration sentinel; every policy
+	// above it must be handled by String, ParseReplacement, and
+	// newReplacer (the round-trip test walks 0..numReplacements-1).
+	numReplacements
 )
 
-// String names the policy.
+// String names the policy; ParseReplacement accepts every name it emits.
 func (r Replacement) String() string {
 	switch r {
 	case LRU:
@@ -30,13 +58,72 @@ func (r Replacement) String() string {
 		return "clock"
 	case Random:
 		return "random"
+	case ARC:
+		return "arc"
+	case TwoQ:
+		return "2q"
+	case SLRU:
+		return "slru"
+	case LIRS:
+		return "lirs"
+	case TinyLFU:
+		return "tinylfu"
 	}
 	return "replacement(?)"
 }
 
+// ParseReplacement maps a policy name to its Replacement value. It is the
+// inverse of String and additionally accepts a few common aliases
+// ("twoq", "segmented-lru", "tiny-lfu"), case-insensitively.
+func ParseReplacement(name string) (Replacement, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "clock":
+		return Clock, nil
+	case "random":
+		return Random, nil
+	case "arc":
+		return ARC, nil
+	case "2q", "twoq":
+		return TwoQ, nil
+	case "slru", "segmented-lru":
+		return SLRU, nil
+	case "lirs":
+		return LIRS, nil
+	case "tinylfu", "tiny-lfu":
+		return TinyLFU, nil
+	}
+	return 0, fmt.Errorf("cachesim: unknown replacement policy %q (want one of %s)", name, replacementNames())
+}
+
+// AllReplacements returns every replacement policy in canonical order
+// (the classic four first, then the modern zoo).
+func AllReplacements() []Replacement {
+	all := make([]Replacement, numReplacements)
+	for i := range all {
+		all[i] = Replacement(i)
+	}
+	return all
+}
+
+func replacementNames() string {
+	names := make([]string, 0, numReplacements)
+	for _, r := range AllReplacements() {
+		names = append(names, r.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 // replacer is the internal interface a replacement policy implements. The
-// cache calls insert on fill, access on every hit, remove on purge, and
-// victim to choose an eviction candidate (which the cache then removes).
+// cache calls insert on fill, access on every hit, remove on both purges
+// and evictions (a policy cannot tell the two apart), and victim to choose
+// an eviction candidate (which the cache then removes). victim may
+// rearrange internal state (TinyLFU moves an admitted window block into
+// the main cache) but must never change len or residency, and must return
+// a currently resident block whenever len > 0.
 type replacer interface {
 	insert(b *block)
 	access(b *block)
@@ -45,7 +132,10 @@ type replacer interface {
 	len() int
 }
 
-func newReplacer(r Replacement, seed int64) replacer {
+// newReplacer builds the policy. capacity is the cache's block capacity:
+// the classic policies ignore it, but the zoo policies size their internal
+// segments and ghost lists from it.
+func newReplacer(r Replacement, capacity int, seed int64) replacer {
 	switch r {
 	case LRU:
 		return &listPolicy{moveOnAccess: true}
@@ -55,8 +145,86 @@ func newReplacer(r Replacement, seed int64) replacer {
 		return &clockPolicy{}
 	case Random:
 		return &randomPolicy{src: dist.NewSource(seed)}
+	case ARC:
+		return newARCPolicy(capacity)
+	case TwoQ:
+		return newTwoQPolicy(capacity)
+	case SLRU:
+		return newSLRUPolicy(capacity)
+	case LIRS:
+		return newLIRSPolicy(capacity)
+	case TinyLFU:
+		return newTinyLFUPolicy(capacity)
 	default:
 		panic("cachesim: unknown replacement policy")
+	}
+}
+
+// ghostList is a bounded recency list of block IDs that are no longer
+// resident — the "history" state the zoo policies consult on re-insertion
+// (ARC's B1/B2, 2Q's A1out). Entries are kept in insertion order with a
+// map for O(1) membership and removal.
+type ghostEntry struct {
+	id         int32
+	prev, next *ghostEntry // prev = toward most recent
+}
+
+type ghostList struct {
+	byID       map[int32]*ghostEntry
+	head, tail *ghostEntry // head = most recent, tail = oldest
+}
+
+func (g *ghostList) len() int { return len(g.byID) }
+
+func (g *ghostList) has(id int32) bool {
+	_, ok := g.byID[id]
+	return ok
+}
+
+func (g *ghostList) pushFront(id int32) {
+	if g.byID == nil {
+		g.byID = make(map[int32]*ghostEntry)
+	}
+	e := &ghostEntry{id: id}
+	e.next = g.head
+	if g.head != nil {
+		g.head.prev = e
+	}
+	g.head = e
+	if g.tail == nil {
+		g.tail = e
+	}
+	g.byID[id] = e
+}
+
+// remove deletes id from the list, reporting whether it was present.
+func (g *ghostList) remove(id int32) bool {
+	e, ok := g.byID[id]
+	if !ok {
+		return false
+	}
+	g.unlink(e)
+	return true
+}
+
+func (g *ghostList) unlink(e *ghostEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		g.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		g.tail = e.prev
+	}
+	delete(g.byID, e.id)
+}
+
+// dropOldest evicts the least recently inserted ghost.
+func (g *ghostList) dropOldest() {
+	if g.tail != nil {
+		g.unlink(g.tail)
 	}
 }
 

@@ -1,0 +1,504 @@
+package replacertest
+
+// Naive reference implementations of the replacement policies, written
+// against plain slices and maps — no intrusive lists, no frame recycling,
+// nothing shared with the production code in package cachesim. They are
+// deliberately O(n) per operation: the point is that they are easy to
+// audit against the published algorithms, so a differential run against
+// the production policy checks the fast data structures without trusting
+// them. Each mirrors its production counterpart's documented parameter
+// choices (segment shares, ghost bounds, adaptation deltas) exactly;
+// anything less and the oracle tests could only compare curves loosely
+// instead of pinning hit counts and eviction orders bit-for-bit.
+//
+// In every list the slice front (index 0) is the most recent end; victims
+// come from the back.
+
+// NewReference returns the naive implementation of the named policy, or
+// nil if the policy has no reference (Clock, Random, and TinyLFU are
+// covered by the conformance suite and behavioral tests instead; a
+// reference TinyLFU would have to reimplement the exact sketch, which
+// tests the constant, not the algorithm).
+func NewReference(name string, capacity int) Policy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	switch name {
+	case "lru":
+		return &refList{lru: true}
+	case "fifo":
+		return &refList{}
+	case "arc":
+		return newRefARC(capacity)
+	case "2q":
+		return newRef2Q(capacity)
+	case "slru":
+		return newRefSLRU(capacity)
+	case "lirs":
+		return newRefLIRS(capacity)
+	}
+	return nil
+}
+
+// slice helpers
+
+func indexOf(s []int32, id int32) int {
+	for i, v := range s {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeAt(s []int32, i int) []int32 {
+	return append(s[:i], s[i+1:]...)
+}
+
+func removeID(s []int32, id int32) ([]int32, bool) {
+	if i := indexOf(s, id); i >= 0 {
+		return removeAt(s, i), true
+	}
+	return s, false
+}
+
+func prepend(s []int32, id int32) []int32 {
+	return append([]int32{id}, s...)
+}
+
+func last(s []int32) (int32, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[len(s)-1], true
+}
+
+// refList is LRU (move to front on access) or FIFO (insertion order).
+type refList struct {
+	items []int32
+	lru   bool
+}
+
+func (p *refList) Insert(id int32) {
+	if indexOf(p.items, id) < 0 {
+		p.items = prepend(p.items, id)
+	}
+}
+
+func (p *refList) Access(id int32) {
+	if !p.lru {
+		return
+	}
+	if s, ok := removeID(p.items, id); ok {
+		p.items = prepend(s, id)
+	}
+}
+
+func (p *refList) Remove(id int32) { p.items, _ = removeID(p.items, id) }
+
+func (p *refList) Victim() (int32, bool) { return last(p.items) }
+
+func (p *refList) Len() int { return len(p.items) }
+
+// refSLRU: probationary + protected segments, protected capped at 4/5.
+type refSLRU struct {
+	prob, prot []int32
+	protCap    int
+}
+
+func newRefSLRU(capacity int) *refSLRU {
+	pc := capacity * 4 / 5
+	if pc >= capacity {
+		pc = capacity - 1
+	}
+	return &refSLRU{protCap: pc}
+}
+
+func (p *refSLRU) resident(id int32) bool {
+	return indexOf(p.prob, id) >= 0 || indexOf(p.prot, id) >= 0
+}
+
+func (p *refSLRU) Insert(id int32) {
+	if p.resident(id) {
+		return
+	}
+	p.prob = prepend(p.prob, id)
+}
+
+func (p *refSLRU) Access(id int32) {
+	if s, ok := removeID(p.prot, id); ok {
+		p.prot = prepend(s, id)
+		return
+	}
+	s, ok := removeID(p.prob, id)
+	if !ok {
+		return
+	}
+	p.prob = s
+	p.prot = prepend(p.prot, id)
+	for len(p.prot) > p.protCap {
+		d := p.prot[len(p.prot)-1]
+		p.prot = p.prot[:len(p.prot)-1]
+		p.prob = prepend(p.prob, d)
+	}
+}
+
+func (p *refSLRU) Remove(id int32) {
+	if s, ok := removeID(p.prob, id); ok {
+		p.prob = s
+		return
+	}
+	p.prot, _ = removeID(p.prot, id)
+}
+
+func (p *refSLRU) Victim() (int32, bool) {
+	if v, ok := last(p.prob); ok {
+		return v, true
+	}
+	return last(p.prot)
+}
+
+func (p *refSLRU) Len() int { return len(p.prob) + len(p.prot) }
+
+// ref2Q: probationary FIFO A1in, main LRU Am, ghost FIFO A1out;
+// Kin = capacity/4, Kout = capacity/2 (each at least 1). Every removed
+// A1in block is ghosted, as in the production policy.
+type ref2Q struct {
+	a1in, am, a1out []int32
+	kin, kout       int
+}
+
+func newRef2Q(capacity int) *ref2Q {
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	return &ref2Q{kin: kin, kout: kout}
+}
+
+func (p *ref2Q) resident(id int32) bool {
+	return indexOf(p.a1in, id) >= 0 || indexOf(p.am, id) >= 0
+}
+
+func (p *ref2Q) Insert(id int32) {
+	if p.resident(id) {
+		return
+	}
+	if s, ok := removeID(p.a1out, id); ok {
+		p.a1out = s
+		p.am = prepend(p.am, id)
+		return
+	}
+	p.a1in = prepend(p.a1in, id)
+}
+
+func (p *ref2Q) Access(id int32) {
+	if s, ok := removeID(p.am, id); ok {
+		p.am = prepend(s, id)
+	}
+	// A1in hits do not reorder the FIFO.
+}
+
+func (p *ref2Q) Remove(id int32) {
+	if s, ok := removeID(p.a1in, id); ok {
+		p.a1in = s
+		p.a1out = prepend(p.a1out, id)
+		for len(p.a1out) > p.kout {
+			p.a1out = p.a1out[:len(p.a1out)-1]
+		}
+		return
+	}
+	p.am, _ = removeID(p.am, id)
+}
+
+func (p *ref2Q) Victim() (int32, bool) {
+	if (len(p.a1in) > p.kin || len(p.am) == 0) && len(p.a1in) > 0 {
+		return last(p.a1in)
+	}
+	if v, ok := last(p.am); ok {
+		return v, true
+	}
+	return last(p.a1in)
+}
+
+func (p *ref2Q) Len() int { return len(p.a1in) + len(p.am) }
+
+// refARC: T1/T2 resident lists, B1/B2 ghosts, adaptation target p, with
+// the same seam-forced departures as the production policy (ties evict
+// from T1; every remove ghosts the block).
+type refARC struct {
+	t1, t2, b1, b2 []int32
+	c, p           int
+}
+
+func newRefARC(capacity int) *refARC { return &refARC{c: capacity} }
+
+func (a *refARC) resident(id int32) bool {
+	return indexOf(a.t1, id) >= 0 || indexOf(a.t2, id) >= 0
+}
+
+func (a *refARC) trimGhosts() {
+	for len(a.t1)+len(a.b1) > a.c && len(a.b1) > 0 {
+		a.b1 = a.b1[:len(a.b1)-1]
+	}
+	for len(a.t1)+len(a.t2)+len(a.b1)+len(a.b2) > 2*a.c {
+		if len(a.b2) > 0 {
+			a.b2 = a.b2[:len(a.b2)-1]
+		} else if len(a.b1) > 0 {
+			a.b1 = a.b1[:len(a.b1)-1]
+		} else {
+			break
+		}
+	}
+}
+
+func (a *refARC) Insert(id int32) {
+	if a.resident(id) {
+		return
+	}
+	// The adaptation delta is computed while the ghost list still holds
+	// the hit entry, exactly as the production policy does.
+	if i := indexOf(a.b1, id); i >= 0 {
+		delta := 1
+		if len(a.b2) > len(a.b1) {
+			delta = len(a.b2) / len(a.b1)
+		}
+		if a.p += delta; a.p > a.c {
+			a.p = a.c
+		}
+		a.b1 = removeAt(a.b1, i)
+		a.t2 = prepend(a.t2, id)
+	} else if i := indexOf(a.b2, id); i >= 0 {
+		delta := 1
+		if len(a.b1) > len(a.b2) {
+			delta = len(a.b1) / len(a.b2)
+		}
+		if a.p -= delta; a.p < 0 {
+			a.p = 0
+		}
+		a.b2 = removeAt(a.b2, i)
+		a.t2 = prepend(a.t2, id)
+	} else {
+		a.t1 = prepend(a.t1, id)
+	}
+	a.trimGhosts()
+}
+
+func (a *refARC) Access(id int32) {
+	if s, ok := removeID(a.t1, id); ok {
+		a.t1 = s
+		a.t2 = prepend(a.t2, id)
+		return
+	}
+	if s, ok := removeID(a.t2, id); ok {
+		a.t2 = prepend(s, id)
+	}
+}
+
+func (a *refARC) Remove(id int32) {
+	if s, ok := removeID(a.t1, id); ok {
+		a.t1 = s
+		a.b1 = prepend(a.b1, id)
+	} else if s, ok := removeID(a.t2, id); ok {
+		a.t2 = s
+		a.b2 = prepend(a.b2, id)
+	} else {
+		return
+	}
+	a.trimGhosts()
+}
+
+func (a *refARC) Victim() (int32, bool) {
+	if len(a.t1) > 0 && (len(a.t1) > a.p || len(a.t2) == 0) {
+		return last(a.t1)
+	}
+	if v, ok := last(a.t2); ok {
+		return v, true
+	}
+	return last(a.t1)
+}
+
+func (a *refARC) Len() int { return len(a.t1) + len(a.t2) }
+
+// refLIRS: stack S (front = top), queue Q of resident HIR blocks
+// (front = newest), ghost order list (front = oldest). LIR set sized
+// capacity minus a 1% HIR share, ghosts bounded at 2x capacity.
+type refLIRS struct {
+	s, q, ghosts []int32
+	state        map[int32]uint8 // rLIR/rHIRres/rGhost
+	nLIR         int
+	lirCap       int
+	ghostCap     int
+}
+
+const (
+	rLIR uint8 = iota
+	rHIRres
+	rGhost
+)
+
+func newRefLIRS(capacity int) *refLIRS {
+	hirCap := capacity / 100
+	if hirCap < 1 {
+		hirCap = 1
+	}
+	return &refLIRS{
+		state:    map[int32]uint8{},
+		lirCap:   capacity - hirCap,
+		ghostCap: 2 * capacity,
+	}
+}
+
+func (p *refLIRS) resident(id int32) bool {
+	st, ok := p.state[id]
+	return ok && st != rGhost
+}
+
+func (p *refLIRS) prune() {
+	for len(p.s) > 0 {
+		bot := p.s[len(p.s)-1]
+		if p.state[bot] == rLIR {
+			return
+		}
+		p.s = p.s[:len(p.s)-1]
+		if p.state[bot] == rGhost {
+			delete(p.state, bot)
+			p.ghosts, _ = removeID(p.ghosts, bot)
+		}
+	}
+}
+
+func (p *refLIRS) moveToTop(id int32) {
+	p.s, _ = removeID(p.s, id)
+	p.s = prepend(p.s, id)
+}
+
+func (p *refLIRS) demoteBottomLIR() {
+	for i := len(p.s) - 1; i >= 0; i-- {
+		id := p.s[i]
+		if p.state[id] != rLIR {
+			continue
+		}
+		p.s = removeAt(p.s, i)
+		p.state[id] = rHIRres
+		p.nLIR--
+		p.q = prepend(p.q, id)
+		p.prune()
+		return
+	}
+}
+
+func (p *refLIRS) dropOldestGhost() {
+	if len(p.ghosts) == 0 {
+		return
+	}
+	id := p.ghosts[0]
+	p.ghosts = p.ghosts[1:]
+	p.s, _ = removeID(p.s, id)
+	delete(p.state, id)
+	p.prune()
+}
+
+func (p *refLIRS) Insert(id int32) {
+	if p.resident(id) {
+		return
+	}
+	if p.state[id] == rGhost && indexOf(p.ghosts, id) >= 0 {
+		p.ghosts, _ = removeID(p.ghosts, id)
+		p.state[id] = rLIR
+		p.nLIR++
+		p.moveToTop(id)
+		if p.nLIR > p.lirCap {
+			p.demoteBottomLIR()
+		}
+		p.prune()
+		return
+	}
+	if p.nLIR < p.lirCap {
+		p.state[id] = rLIR
+		p.nLIR++
+		p.s = prepend(p.s, id)
+		return
+	}
+	p.state[id] = rHIRres
+	p.s = prepend(p.s, id)
+	p.q = prepend(p.q, id)
+}
+
+func (p *refLIRS) Access(id int32) {
+	switch st, ok := p.state[id], p.resident(id); {
+	case !ok:
+		return
+	case st == rLIR:
+		wasBottom := len(p.s) > 0 && p.s[len(p.s)-1] == id
+		p.moveToTop(id)
+		if wasBottom {
+			p.prune()
+		}
+	case st == rHIRres:
+		if indexOf(p.s, id) >= 0 {
+			p.state[id] = rLIR
+			p.nLIR++
+			p.moveToTop(id)
+			p.q, _ = removeID(p.q, id)
+			if p.nLIR > p.lirCap {
+				p.demoteBottomLIR()
+			}
+			p.prune()
+			return
+		}
+		p.s = prepend(p.s, id)
+		p.q, _ = removeID(p.q, id)
+		p.q = prepend(p.q, id)
+	}
+}
+
+func (p *refLIRS) Remove(id int32) {
+	st, ok := p.state[id]
+	if !ok || st == rGhost {
+		return
+	}
+	if st == rHIRres {
+		p.q, _ = removeID(p.q, id)
+		if indexOf(p.s, id) >= 0 {
+			p.state[id] = rGhost
+			p.ghosts = append(p.ghosts, id)
+			if len(p.ghosts) > p.ghostCap {
+				p.dropOldestGhost()
+			}
+			return
+		}
+		delete(p.state, id)
+		return
+	}
+	p.s, _ = removeID(p.s, id)
+	delete(p.state, id)
+	p.nLIR--
+	p.prune()
+}
+
+func (p *refLIRS) Victim() (int32, bool) {
+	if v, ok := last(p.q); ok {
+		return v, true
+	}
+	for i := len(p.s) - 1; i >= 0; i-- {
+		if p.state[p.s[i]] == rLIR {
+			return p.s[i], true
+		}
+	}
+	return 0, false
+}
+
+func (p *refLIRS) Len() int {
+	n := 0
+	for _, st := range p.state {
+		if st != rGhost {
+			n++
+		}
+	}
+	return n
+}

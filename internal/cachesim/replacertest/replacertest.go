@@ -1,0 +1,281 @@
+// Package replacertest is the shared conformance suite for cache
+// replacement policies, the analogue of internal/trace/sourcetest for the
+// replacer seam. Every policy the simulator ships — the classic four and
+// the modern zoo — runs the same checks, so the policy contract is pinned
+// in one place:
+//
+//   - Victim always returns a currently resident block (ok=false only on
+//     an empty cache), and probing it never changes Len or residency of
+//     any block the caller knows about;
+//   - Len tracks Insert/Remove exactly: it equals the number of distinct
+//     resident IDs after every operation;
+//   - under the victim-then-insert discipline the policy never holds more
+//     than capacity blocks, and no eviction is needed while under
+//     capacity;
+//   - two instances built with the same seed replay the same reference
+//     string to identical hit counts and identical eviction sequences
+//     (bit-determinism, the property every sweep in the repo leans on);
+//   - adversarial operation orders — inserts of resident IDs, accesses
+//     and removes of non-resident IDs, victim probes at arbitrary points
+//     — never panic and never corrupt the invariants above.
+//
+// The package also carries naive reference implementations of the zoo
+// policies (see reference.go), built on plain slices and maps with none
+// of the intrusive-list machinery of the production policies; the
+// differential oracle tests in package cachesim pin the production hit
+// counts against them on seeded workloads.
+package replacertest
+
+import "testing"
+
+// Policy is the operation-level face of a replacement policy, the
+// structural interface of cachesim.Policy (declared here so the suite has
+// no dependency on the package under test). Implementations must ignore
+// invalid operations: inserting a resident ID, or accessing/removing a
+// non-resident one, is a no-op.
+type Policy interface {
+	Insert(id int32)
+	Access(id int32)
+	Remove(id int32)
+	Victim() (int32, bool)
+	Len() int
+}
+
+// Factory builds a fresh policy instance for a cache of capacity blocks.
+// The seed feeds randomized policies and must fully determine behavior.
+type Factory func(capacity int, seed int64) Policy
+
+// capacities exercised by every suite check: degenerate, tiny (forces
+// constant eviction), and large enough that the zoo policies' segments
+// and ghost lists all have room to mean something.
+var capacities = []int{1, 2, 3, 7, 64, 300}
+
+// Run drives policies built by mk through every conformance check.
+func Run(t *testing.T, mk Factory) {
+	t.Helper()
+
+	t.Run("empty", func(t *testing.T) {
+		p := mk(8, 1)
+		if n := p.Len(); n != 0 {
+			t.Fatalf("fresh policy Len = %d, want 0", n)
+		}
+		if v, ok := p.Victim(); ok {
+			t.Fatalf("fresh policy Victim = (%d, true), want ok=false", v)
+		}
+		// Invalid operations on an empty policy must be no-ops.
+		p.Access(3)
+		p.Remove(7)
+		if n := p.Len(); n != 0 {
+			t.Fatalf("Len after invalid ops = %d, want 0", n)
+		}
+	})
+
+	t.Run("under-capacity", func(t *testing.T) {
+		// Fills never evict below capacity, and victim probes on a
+		// partial cache return residents without changing occupancy.
+		const cap = 16
+		p := mk(cap, 1)
+		resident := map[int32]bool{}
+		for id := int32(0); id < cap; id++ {
+			p.Insert(id)
+			resident[id] = true
+			if n := p.Len(); n != len(resident) {
+				t.Fatalf("Len after %d inserts = %d, want %d", id+1, n, len(resident))
+			}
+			v, ok := p.Victim()
+			if !ok {
+				t.Fatalf("Victim with %d resident returned ok=false", len(resident))
+			}
+			if !resident[v] {
+				t.Fatalf("Victim returned non-resident id %d", v)
+			}
+			if n := p.Len(); n != len(resident) {
+				t.Fatalf("Victim probe changed Len: %d, want %d", n, len(resident))
+			}
+		}
+	})
+
+	for _, wl := range Workloads() {
+		wl := wl
+		t.Run("discipline/"+wl.Name, func(t *testing.T) {
+			for _, cap := range capacities {
+				Drive(t, mk(cap, 1), cap, wl.Refs)
+			}
+		})
+	}
+
+	t.Run("determinism", func(t *testing.T) {
+		for _, wl := range Workloads() {
+			for _, cap := range capacities {
+				h1, e1 := Drive(t, mk(cap, 42), cap, wl.Refs)
+				h2, e2 := Drive(t, mk(cap, 42), cap, wl.Refs)
+				if h1 != h2 {
+					t.Fatalf("%s cap %d: reseeded rerun hit counts differ: %d vs %d", wl.Name, cap, h1, h2)
+				}
+				if len(e1) != len(e2) {
+					t.Fatalf("%s cap %d: eviction counts differ: %d vs %d", wl.Name, cap, len(e1), len(e2))
+				}
+				for i := range e1 {
+					if e1[i] != e2[i] {
+						t.Fatalf("%s cap %d: eviction %d differs: %d vs %d", wl.Name, cap, i, e1[i], e2[i])
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("adversarial", func(t *testing.T) {
+		for _, cap := range capacities {
+			for seed := int64(1); seed <= 3; seed++ {
+				adversarial(t, mk, cap, seed)
+			}
+		}
+	})
+}
+
+// Drive replays a reference string through p under the simulator's
+// victim-then-insert discipline, checking the residency and occupancy
+// invariants at every step, and returns the hit count and the eviction
+// sequence. It is exported so differential oracle tests can replay the
+// same workload through a production policy and a reference one.
+func Drive(tb testing.TB, p Policy, capacity int, refs []int32) (hits int64, evictions []int32) {
+	tb.Helper()
+	resident := map[int32]bool{}
+	for i, id := range refs {
+		if resident[id] {
+			p.Access(id)
+			hits++
+		} else {
+			for p.Len() >= capacity {
+				v, ok := p.Victim()
+				if !ok {
+					tb.Fatalf("ref %d: Victim ok=false with %d resident", i, p.Len())
+				}
+				if !resident[v] {
+					tb.Fatalf("ref %d: Victim returned non-resident id %d", i, v)
+				}
+				p.Remove(v)
+				delete(resident, v)
+				evictions = append(evictions, v)
+			}
+			p.Insert(id)
+			resident[id] = true
+		}
+		if n := p.Len(); n != len(resident) {
+			tb.Fatalf("ref %d: Len = %d, want %d", i, n, len(resident))
+		}
+		if n := p.Len(); n > capacity {
+			tb.Fatalf("ref %d: occupancy %d exceeds capacity %d", i, n, capacity)
+		}
+	}
+	return hits, evictions
+}
+
+// adversarial throws a seeded soup of operations at the policy — stale
+// accesses and removes, double inserts, victim probes — and checks that
+// nothing panics and the Len/residency bookkeeping holds throughout.
+func adversarial(t *testing.T, mk Factory, capacity int, seed int64) {
+	t.Helper()
+	p := mk(capacity, seed)
+	r := rng{s: uint64(seed)*0x9e3779b97f4a7c15 + uint64(capacity)}
+	resident := map[int32]bool{}
+	universe := int32(4 * capacity)
+	for step := 0; step < 4000; step++ {
+		id := int32(r.intn(int(universe)))
+		switch r.intn(10) {
+		case 0, 1, 2, 3: // insert (with discipline; may target a resident id)
+			if !resident[id] {
+				for p.Len() >= capacity {
+					v, ok := p.Victim()
+					if !ok || !resident[v] {
+						t.Fatalf("step %d: bad victim (%d, %v)", step, v, ok)
+					}
+					p.Remove(v)
+					delete(resident, v)
+				}
+			}
+			p.Insert(id)
+			resident[id] = true
+		case 4, 5, 6: // access, resident or not
+			p.Access(id)
+		case 7, 8: // remove, resident or not
+			p.Remove(id)
+			delete(resident, id)
+		default: // victim probe
+			v, ok := p.Victim()
+			if ok && !resident[v] {
+				t.Fatalf("step %d: Victim returned non-resident id %d", step, v)
+			}
+			if !ok && len(resident) > 0 {
+				t.Fatalf("step %d: Victim ok=false with %d resident", step, len(resident))
+			}
+		}
+		if n := p.Len(); n != len(resident) {
+			t.Fatalf("step %d: Len = %d, want %d", step, n, len(resident))
+		}
+	}
+}
+
+// Workload is a named deterministic reference string.
+type Workload struct {
+	Name string
+	Refs []int32
+}
+
+// Workloads returns the suite's reference strings: a pure sequential
+// loop (LRU's worst case), a hot/cold mix (the zoo's best case), and a
+// working-set shift with a one-shot scan through the middle (what the
+// scan-resistant policies exist for).
+func Workloads() []Workload {
+	const n = 6000
+	loop := make([]int32, n)
+	for i := range loop {
+		loop[i] = int32(i % 96)
+	}
+
+	r := rng{s: 0x5eed}
+	hot := make([]int32, n)
+	for i := range hot {
+		if r.intn(4) < 3 {
+			hot[i] = int32(r.intn(24)) // hot set
+		} else {
+			hot[i] = 100 + int32(r.intn(900)) // cold tail
+		}
+	}
+
+	shift := make([]int32, 0, n)
+	for i := 0; i < 2000; i++ { // phase 1: small working set
+		shift = append(shift, int32(r.intn(40)))
+	}
+	for i := 0; i < 1000; i++ { // one-shot scan
+		shift = append(shift, 1000+int32(i))
+	}
+	for i := 0; i < 2000; i++ { // phase 2: shifted working set
+		shift = append(shift, 40+int32(r.intn(40)))
+	}
+
+	return []Workload{
+		{Name: "loop", Refs: loop},
+		{Name: "hotcold", Refs: hot},
+		{Name: "scanshift", Refs: shift},
+	}
+}
+
+// rng is a tiny splitmix-style generator so the suite depends on nothing
+// and every workload is bit-stable across runs.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((r.next() >> 33) % uint64(n))
+}

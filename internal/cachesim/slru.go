@@ -1,0 +1,81 @@
+package cachesim
+
+// Segmented LRU (Karedla, Love & Wherry, 1994). The cache is split into a
+// probationary and a protected LRU segment. A block enters on probation;
+// only a hit while on probation promotes it into the protected segment, so
+// blocks referenced exactly once drain out of probation without ever
+// displacing the proven re-reference set. The protected segment is capped
+// at 4/5 of the capacity; overflow demotes its LRU tail back to the head
+// of probation (it keeps a second chance, but competes with new arrivals
+// again).
+//
+// Segment membership is tagged in the block's slot field (the intrusive
+// field the random policy uses as a slice index; a block belongs to one
+// policy at a time).
+
+const (
+	segProbation = iota
+	segProtected
+)
+
+type slruPolicy struct {
+	probation blockList
+	protected blockList
+	// protCap bounds the protected segment; capacity*4/5, and always at
+	// least one below the total capacity so probation can hold a new
+	// arrival.
+	protCap int
+}
+
+func newSLRUPolicy(capacity int) *slruPolicy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	pc := capacity * 4 / 5
+	if pc >= capacity {
+		pc = capacity - 1
+	}
+	return &slruPolicy{protCap: pc}
+}
+
+func (p *slruPolicy) insert(b *block) {
+	b.slot = segProbation
+	p.probation.pushFront(b)
+}
+
+func (p *slruPolicy) access(b *block) {
+	if b.slot == segProtected {
+		p.protected.moveToFront(b)
+		return
+	}
+	// Promotion: probation hit moves to the protected head; protected
+	// overflow demotes its tail to the probation head.
+	p.probation.remove(b)
+	b.slot = segProtected
+	p.protected.pushFront(b)
+	for p.protected.n > p.protCap {
+		d := p.protected.tail
+		p.protected.remove(d)
+		d.slot = segProbation
+		p.probation.pushFront(d)
+	}
+}
+
+func (p *slruPolicy) remove(b *block) {
+	if b.slot == segProtected {
+		p.protected.remove(b)
+	} else {
+		p.probation.remove(b)
+	}
+}
+
+// victim prefers the probation tail; an empty probation (everything
+// promoted) falls back to the protected tail.
+func (p *slruPolicy) victim() *block {
+	if p.probation.tail != nil {
+		return p.probation.tail
+	}
+	return p.protected.tail
+}
+
+func (p *slruPolicy) len() int { return p.probation.n + p.protected.n }

@@ -67,15 +67,7 @@ func StackDistancesTape(tape *xfer.Tape, blockSize int64) (*StackResult, error) 
 		return nil, fmt.Errorf("cachesim: block size %d must be positive", blockSize)
 	}
 	r := resolvedFor(tape, blockSize)
-	// The reference string: the dense block IDs of every true transfer,
-	// in tape order (exec page-ins are synthetic, not references).
-	refs := make([]int32, 0, len(r.accessIDs))
-	for i := range tape.Ops {
-		op := &tape.Ops[i]
-		if op.Kind == xfer.OpTransfer {
-			refs = append(refs, r.accessIDs[r.accessOff[op.Xfer]:r.accessOff[op.Xfer+1]]...)
-		}
-	}
+	refs := referenceString(tape, r)
 
 	res := &StackResult{BlockSize: blockSize, References: int64(len(refs))}
 	// Mattson via a Fenwick tree over positions. last[b] is the position
@@ -109,6 +101,20 @@ func StackDistancesTape(tape *xfer.Tape, blockSize int64) (*StackResult, error) 
 		res.hist[d] = c
 	}
 	return res, nil
+}
+
+// referenceString extracts a tape's block reference string at the
+// resolution's block size: the dense block IDs of every true transfer,
+// in tape order (exec page-ins are synthetic, not references).
+func referenceString(tape *xfer.Tape, r *resolved) []int32 {
+	refs := make([]int32, 0, len(r.accessIDs))
+	for i := range tape.Ops {
+		op := &tape.Ops[i]
+		if op.Kind == xfer.OpTransfer {
+			refs = append(refs, r.accessIDs[r.accessOff[op.Xfer]:r.accessOff[op.Xfer+1]]...)
+		}
+	}
+	return refs
 }
 
 // StackDistances runs StackDistancesTape on a freshly built tape.

@@ -1,0 +1,211 @@
+package cachesim
+
+// TinyLFU-style admission (Einziger, Friedman & Manes, 2015) in its
+// W-TinyLFU arrangement: a small LRU window (1% of capacity) absorbs new
+// arrivals, the remaining capacity is a segmented-LRU main cache, and a
+// count-min sketch estimates each block's reference frequency. When the
+// window overflows, its tail duels the main cache's eviction candidate:
+// the window block is admitted (displacing the candidate) only if the
+// sketch says it is the more frequently referenced of the two. One-hit
+// wonders therefore die in the window without ever touching the proven
+// working set.
+//
+// The duel happens inside victim(): deciding who to evict is exactly the
+// admission decision. Because the cache evicts before inserting, the
+// incoming block is never visible at victim time; the window tail — the
+// least recently used arrival — is the standing admission candidate
+// instead. victim() may migrate window blocks into the main probation
+// segment (filling spare main capacity, or moving an admitted duel
+// winner) before returning the loser: a state rearrangement, never a
+// change of residency or len (the sketch is only updated on insert and
+// access, not in the duel).
+//
+// The sketch is 4 rows of 4-bit-saturating counters (stored one counter
+// per byte for simplicity; the simulator optimizes replay time, not
+// simulator memory), halved every 10x-capacity increments so stale
+// popularity decays (the "reset" operation of the paper).
+
+const (
+	tWindow = iota
+	tProbation
+	tProtected
+)
+
+type tinyLFUPolicy struct {
+	window    blockList
+	probation blockList
+	protected blockList
+	winCap    int
+	mainCap   int
+	protCap   int
+	sketch    cmSketch
+}
+
+func newTinyLFUPolicy(capacity int) *tinyLFUPolicy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	winCap := capacity / 100
+	if winCap < 1 {
+		winCap = 1
+	}
+	mainCap := capacity - winCap
+	protCap := mainCap * 4 / 5
+	p := &tinyLFUPolicy{winCap: winCap, mainCap: mainCap, protCap: protCap}
+	p.sketch.init(capacity)
+	return p
+}
+
+func (p *tinyLFUPolicy) insert(b *block) {
+	p.sketch.add(b.id)
+	b.slot = tWindow
+	p.window.pushFront(b)
+}
+
+func (p *tinyLFUPolicy) access(b *block) {
+	p.sketch.add(b.id)
+	switch b.slot {
+	case tWindow:
+		p.window.moveToFront(b)
+	case tProtected:
+		p.protected.moveToFront(b)
+	default:
+		// Probation hit: promote, demoting protected overflow back to
+		// probation (same discipline as the standalone SLRU policy).
+		p.probation.remove(b)
+		b.slot = tProtected
+		p.protected.pushFront(b)
+		for p.protected.n > p.protCap {
+			d := p.protected.tail
+			p.protected.remove(d)
+			d.slot = tProbation
+			p.probation.pushFront(d)
+		}
+	}
+}
+
+func (p *tinyLFUPolicy) remove(b *block) {
+	switch b.slot {
+	case tWindow:
+		p.window.remove(b)
+	case tProtected:
+		p.protected.remove(b)
+	default:
+		p.probation.remove(b)
+	}
+}
+
+func (p *tinyLFUPolicy) mainVictim() *block {
+	if p.probation.tail != nil {
+		return p.probation.tail
+	}
+	return p.protected.tail
+}
+
+func (p *tinyLFUPolicy) victim() *block {
+	// Window overflow drains into spare main capacity without a duel
+	// (this is how the main cache bootstraps: before the first eviction
+	// every block sits in the window).
+	for p.window.n > p.winCap && p.probation.n+p.protected.n < p.mainCap {
+		w := p.window.tail
+		p.window.remove(w)
+		w.slot = tProbation
+		p.probation.pushFront(w)
+	}
+	if p.window.n >= p.winCap && p.window.tail != nil {
+		w := p.window.tail
+		m := p.mainVictim()
+		if m == nil {
+			return w
+		}
+		// The admission duel. Strict inequality: on a tie the incumbent
+		// wins, keeping a scan of never-repeated blocks out of the main
+		// cache.
+		if p.sketch.estimate(w.id) > p.sketch.estimate(m.id) {
+			p.window.remove(w)
+			w.slot = tProbation
+			p.probation.pushFront(w)
+			return m
+		}
+		return w
+	}
+	if m := p.mainVictim(); m != nil {
+		return m
+	}
+	return p.window.tail
+}
+
+func (p *tinyLFUPolicy) len() int { return p.window.n + p.probation.n + p.protected.n }
+
+// cmSketch is a count-min sketch of reference frequencies: sketchRows
+// hash rows of saturating counters, the estimate being the row minimum.
+// All hashing is fixed odd-constant multiplicative mixing, so replays
+// are bit-deterministic.
+const (
+	sketchRows     = 4
+	sketchMaxCount = 15
+)
+
+type cmSketch struct {
+	rows  [sketchRows][]uint8
+	mask  uint32
+	adds  int
+	reset int
+}
+
+// sketchSeeds are arbitrary odd 32-bit constants (splitmix64 outputs).
+var sketchSeeds = [sketchRows]uint32{0x9e3779b9, 0x85ebca6b, 0xc2b2ae35, 0x27d4eb2f}
+
+func (s *cmSketch) init(capacity int) {
+	// Width: the next power of two above 8x capacity, clamped so tiny
+	// caches still get enough spread and huge ones stay affordable.
+	width := 64
+	for width < 8*capacity && width < 1<<17 {
+		width <<= 1
+	}
+	s.mask = uint32(width - 1)
+	for r := range s.rows {
+		s.rows[r] = make([]uint8, width)
+	}
+	s.reset = 10 * capacity
+	if s.reset < 640 {
+		s.reset = 640
+	}
+}
+
+func (s *cmSketch) index(id int32, row int) uint32 {
+	h := uint32(id)*sketchSeeds[row] + sketchSeeds[row]>>1
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	return h & s.mask
+}
+
+func (s *cmSketch) add(id int32) {
+	for r := 0; r < sketchRows; r++ {
+		c := &s.rows[r][s.index(id, r)]
+		if *c < sketchMaxCount {
+			*c++
+		}
+	}
+	s.adds++
+	if s.adds >= s.reset {
+		s.adds = 0
+		for r := range s.rows {
+			row := s.rows[r]
+			for i := range row {
+				row[i] >>= 1
+			}
+		}
+	}
+}
+
+func (s *cmSketch) estimate(id int32) uint8 {
+	min := uint8(sketchMaxCount)
+	for r := 0; r < sketchRows; r++ {
+		if c := s.rows[r][s.index(id, r)]; c < min {
+			min = c
+		}
+	}
+	return min
+}

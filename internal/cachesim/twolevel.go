@@ -199,21 +199,7 @@ func TwoLevelSimulateTapes(tapes []*xfer.Tape, cfg TwoLevelConfig) (*TwoLevelRes
 	// per-block file indices for purge boundaries and per-file sorted
 	// block lists, all in global IDs. Writes arrive with their data (the
 	// client has the block), so a server write miss needs no disk read.
-	srvRes := &resolved{
-		blockSize:  cfg.BlockSize,
-		blockIdx:   make([]int64, 0, nBlocks),
-		fileBlocks: make([][]int32, 0, nFiles),
-	}
-	for m, r := range machineRes {
-		srvRes.blockIdx = append(srvRes.blockIdx, r.blockIdx...)
-		for _, fb := range r.fileBlocks {
-			global := make([]int32, len(fb))
-			for i, id := range fb {
-				global[i] = blockBase[m] + id
-			}
-			srvRes.fileBlocks = append(srvRes.fileBlocks, global)
-		}
-	}
+	srvRes := mergeResolved(machineRes, blockBase, cfg.BlockSize, nBlocks, nFiles)
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].time < ops[j].time })
 	sres := replayServer(ops, srvRes, serverCfg, cfg.OnServerDisk)
 	res.ServerDiskReads = sres.DiskReads
@@ -222,38 +208,10 @@ func TwoLevelSimulateTapes(tapes []*xfer.Tape, cfg TwoLevelConfig) (*TwoLevelRes
 }
 
 // replayServer drives the time-ordered server traffic into the server
-// cache.
+// cache: the single-shared-tier instance of replayTierOps (the server
+// is the bottom cache, so purges are not forwarded anywhere).
 func replayServer(ops []serverOp, r *resolved, cfg Config, onDisk func(id int32, write bool, t trace.Time)) *Result {
-	srv := newCache(&xfer.Tape{}, r, cfg)
-	srv.onDisk = onDisk
-	for i := range ops {
-		op := &ops[i]
-		srv.advance(op.time)
-		switch op.kind {
-		case opPurge:
-			srv.purge(op.fs, op.size)
-		case opRead:
-			srv.res.LogicalAccesses++
-			srv.res.ReadAccesses++
-			if b := srv.blocks[op.id]; b != nil {
-				srv.pol.access(b)
-				continue
-			}
-			srv.res.DiskReads++
-			srv.insert(op.id)
-		case opWrite:
-			srv.res.LogicalAccesses++
-			srv.res.WriteAccesses++
-			if b := srv.blocks[op.id]; b != nil {
-				srv.pol.access(b)
-				srv.markDirty(b)
-				continue
-			}
-			b := srv.insert(op.id)
-			srv.markDirty(b)
-		}
-	}
-	return srv.finish()
+	return replayTierOps(ops, r, cfg, onDisk, nil)
 }
 
 // TwoLevelSimulate builds one tape per machine trace and runs

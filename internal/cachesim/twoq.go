@@ -1,0 +1,88 @@
+package cachesim
+
+// 2Q (Johnson & Shasha, VLDB 1994), the full version. First-touch blocks
+// enter a probationary FIFO (A1in). When an A1in block leaves the cache,
+// its identity is remembered in a ghost FIFO (A1out); a re-insertion that
+// hits the ghost list goes straight onto the main LRU list (Am), so only
+// blocks re-referenced beyond the probationary window earn LRU treatment.
+// Hits inside A1in deliberately do not reorder it — a correlated burst of
+// accesses to a brand-new block is not evidence of long-term value.
+//
+// Tuning constants follow the paper: Kin (A1in's nominal share) is 1/4 of
+// the capacity, Kout (ghost memory) is 1/2.
+//
+// The cache cannot tell the policy whether a remove is an eviction or a
+// purge, so 2Q records every removed A1in block in A1out. For purged
+// (dead-data) blocks the ghost is useless but harmless: the dense block
+// IDs of deleted file data are never referenced again.
+
+const (
+	qA1in = iota
+	qAm
+)
+
+type twoQPolicy struct {
+	a1in  blockList // probationary FIFO: front = newest
+	am    blockList // main LRU list
+	a1out ghostList // identities of departed A1in blocks
+	kin   int
+	kout  int
+}
+
+func newTwoQPolicy(capacity int) *twoQPolicy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	return &twoQPolicy{kin: kin, kout: kout}
+}
+
+func (p *twoQPolicy) insert(b *block) {
+	if p.a1out.remove(b.id) {
+		b.slot = qAm
+		p.am.pushFront(b)
+		return
+	}
+	b.slot = qA1in
+	p.a1in.pushFront(b)
+}
+
+func (p *twoQPolicy) access(b *block) {
+	if b.slot == qAm {
+		p.am.moveToFront(b)
+	}
+	// A1in hits do not reorder the FIFO (see the package comment).
+}
+
+func (p *twoQPolicy) remove(b *block) {
+	if b.slot == qA1in {
+		p.a1in.remove(b)
+		p.a1out.pushFront(b.id)
+		for p.a1out.len() > p.kout {
+			p.a1out.dropOldest()
+		}
+		return
+	}
+	p.am.remove(b)
+}
+
+// victim drains A1in while it holds more than its Kin share (or while Am
+// is empty), otherwise evicts the Am tail.
+func (p *twoQPolicy) victim() *block {
+	if (p.a1in.n > p.kin || p.am.n == 0) && p.a1in.tail != nil {
+		return p.a1in.tail
+	}
+	if p.am.tail != nil {
+		return p.am.tail
+	}
+	return p.a1in.tail
+}
+
+func (p *twoQPolicy) len() int { return p.a1in.n + p.am.n }

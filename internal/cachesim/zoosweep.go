@@ -1,0 +1,94 @@
+package cachesim
+
+// The policy-zoo sweeps: the Figure 5-7 experiments re-run across every
+// replacement policy the simulator ships, instead of only the paper's
+// LRU. Results are indexed [row][policy] with policies in
+// AllReplacements order (classic four, then the modern zoo), so the
+// first column of every sweep is the paper's own configuration.
+
+import "bsdtrace/internal/xfer"
+
+// ZooSweepTape re-runs the Figure 5 experiment across the zoo: miss
+// ratio as a function of cache size under delayed-write, one column per
+// replacement policy. Indexed [cacheSize][policy].
+func ZooSweepTape(tape *xfer.Tape, blockSize int64, cacheSizes []int64, seed int64) ([][]*Result, error) {
+	reps := AllReplacements()
+	cfgs := make([]Config, 0, len(cacheSizes)*len(reps))
+	for _, cs := range cacheSizes {
+		for _, rp := range reps {
+			cfgs = append(cfgs, Config{
+				BlockSize:   blockSize,
+				CacheSize:   cs,
+				Write:       DelayedWrite,
+				Replacement: rp,
+				Seed:        seed,
+			})
+		}
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, len(cacheSizes))
+	for i := range out {
+		out[i] = rs[i*len(reps) : (i+1)*len(reps) : (i+1)*len(reps)]
+	}
+	return out, nil
+}
+
+// ZooBlockSizeSweepTape re-runs the Figure 6 experiment across the zoo:
+// disk I/Os as a function of block size at one cache size under
+// delayed-write. Indexed [blockSize][policy].
+func ZooBlockSizeSweepTape(tape *xfer.Tape, blockSizes []int64, cacheSize int64, seed int64) ([][]*Result, error) {
+	reps := AllReplacements()
+	cfgs := make([]Config, 0, len(blockSizes)*len(reps))
+	for _, bs := range blockSizes {
+		for _, rp := range reps {
+			cfgs = append(cfgs, Config{
+				BlockSize:   bs,
+				CacheSize:   cacheSize,
+				Write:       DelayedWrite,
+				Replacement: rp,
+				Seed:        seed,
+			})
+		}
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, len(blockSizes))
+	for i := range out {
+		out[i] = rs[i*len(reps) : (i+1)*len(reps) : (i+1)*len(reps)]
+	}
+	return out, nil
+}
+
+// ZooPagingSweepTape re-runs the Figure 7 experiment across the zoo:
+// miss ratio with program page-in simulated, under delayed-write.
+// Indexed [cacheSize][policy].
+func ZooPagingSweepTape(tape *xfer.Tape, blockSize int64, cacheSizes []int64, seed int64) ([][]*Result, error) {
+	reps := AllReplacements()
+	cfgs := make([]Config, 0, len(cacheSizes)*len(reps))
+	for _, cs := range cacheSizes {
+		for _, rp := range reps {
+			cfgs = append(cfgs, Config{
+				BlockSize:      blockSize,
+				CacheSize:      cs,
+				Write:          DelayedWrite,
+				Replacement:    rp,
+				Seed:           seed,
+				SimulatePaging: true,
+			})
+		}
+	}
+	rs, err := MultiSimulate(tape, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, len(cacheSizes))
+	for i := range out {
+		out[i] = rs[i*len(reps) : (i+1)*len(reps) : (i+1)*len(reps)]
+	}
+	return out, nil
+}
