@@ -23,16 +23,19 @@ import (
 
 // config is the daemon's effective configuration.
 type config struct {
-	profile  string
-	seed     int64
-	duration trace.Time
-	scale    float64
-	shards   int
-	interval int     // records per checkpoint segment == per stream chunk
-	retain   int     // sealed chunks retained for late joiners
-	pace     float64 // simulated seconds per wall second; 0 = full speed
-	manifest string
-	snapshot time.Duration
+	profile   string
+	seed      int64
+	duration  trace.Time
+	scale     float64
+	shards    int
+	interval  int     // records per checkpoint segment == per stream chunk
+	retain    int     // sealed chunks retained for late joiners
+	pace      float64 // simulated seconds per wall second; 0 = full speed
+	manifest  string
+	snapshot  time.Duration
+	state     string        // daemon checkpoint file; "" disables checkpointing
+	stall     time.Duration // slow-consumer stall budget before eviction
+	maxIngest int           // concurrent ingests before load shedding
 }
 
 // name is the trace name the report renders under, fsanalyze-style.
@@ -94,6 +97,13 @@ func (l *ingestLog) snapshot() (int64, []ingestSummary) {
 	return l.total, append([]ingestSummary(nil), l.recent...)
 }
 
+// state returns the full resumable state, for the daemon checkpoint.
+func (l *ingestLog) state() (total, seq int64, recent []ingestSummary) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.seq, append([]ingestSummary(nil), l.recent...)
+}
+
 // liveState is the rolling online analysis of the generated stream,
 // fed by the analysis subscriber and read by /stats and /report.
 type liveState struct {
@@ -105,6 +115,7 @@ type liveState struct {
 	unclosed  int
 	genErr    error
 	done      bool
+	aborted   bool // generation stopped early: analysis left unfinished, resumable
 }
 
 // analysis returns the rolling (or, after end of stream, final)
@@ -127,29 +138,41 @@ type daemon struct {
 	ing  *ingestLog
 	mux  *http.ServeMux
 
-	started  time.Time
-	stopped  atomic.Bool
-	stopOnce sync.Once
-	stopCh   chan struct{}
-	genDone  chan struct{} // closed when the analysis subscriber finishes
-	done     chan struct{} // closed when every daemon goroutine has exited
-	wg       sync.WaitGroup
+	// Resume position: the restored run continues after the first
+	// resumeFrom regenerated events, whose last timestamp is resumeTime.
+	resumeFrom int64
+	resumeTime trace.Time
+
+	ingSem chan struct{} // bounded ingest admission; full = shed with 429
+
+	started     time.Time
+	stopped     atomic.Bool
+	genComplete atomic.Bool // generation ran to its natural end
+	stopOnce    sync.Once
+	stopCh      chan struct{}
+	genDone     chan struct{} // closed when the analysis subscriber finishes
+	done        chan struct{} // closed when every daemon goroutine has exited
+	wg          sync.WaitGroup
 }
 
 func newDaemon(cfg config) *daemon {
 	if cfg.interval <= 0 {
 		cfg.interval = trace.DefaultCheckpointInterval
 	}
+	if cfg.maxIngest <= 0 {
+		cfg.maxIngest = 4
+	}
 	d := &daemon{
 		cfg: cfg,
 		reg: obs.NewRegistry(),
 		fan: trace.NewFanout(0),
-		hub: newStreamHub(cfg.retain),
+		hub: newStreamHub(cfg.retain, cfg.stall),
 		live: &liveState{
 			stream:    analyzer.NewStream(analyzer.Options{}),
 			validator: trace.NewValidator(16),
 		},
 		ing:     &ingestLog{},
+		ingSem:  make(chan struct{}, cfg.maxIngest),
 		stopCh:  make(chan struct{}),
 		genDone: make(chan struct{}),
 		done:    make(chan struct{}),
@@ -168,16 +191,24 @@ func newDaemon(cfg config) *daemon {
 }
 
 // start launches the pipeline: producer -> fan-out -> {recorder,
-// analysis} plus the manifest snapshotter.
+// analysis} plus the manifest and checkpoint snapshotters.
 func (d *daemon) start() {
 	d.started = time.Now()
 	recSub := d.fan.Subscribe()
 	anSub := d.fan.Subscribe()
 	// Capture the stream header synchronously, before the first client
 	// can possibly subscribe: a subscriber must never see a headerless
-	// prefix.
+	// prefix. On a resumed run the preamble also carries the resume
+	// checkpoint, so a fresh reader of the new stream accounts the
+	// pre-resume records as skipped — exact loss accounting at the
+	// client, not a silent gap.
 	var buf bytes.Buffer
-	w := trace.NewWriterV2(&buf, d.cfg.interval)
+	var w *trace.Writer
+	if d.resumeFrom > 0 {
+		w = trace.NewResumedWriterV2(&buf, d.cfg.interval, d.resumeFrom, d.resumeTime)
+	} else {
+		w = trace.NewWriterV2(&buf, d.cfg.interval)
+	}
 	if err := w.Flush(); err == nil {
 		d.hub.setHeader(append([]byte(nil), buf.Bytes()...))
 		buf.Reset()
@@ -189,6 +220,10 @@ func (d *daemon) start() {
 	if d.cfg.manifest != "" {
 		d.wg.Add(1)
 		go d.manifestLoop()
+	}
+	if d.cfg.state != "" {
+		d.wg.Add(1)
+		go d.checkpointLoop()
 	}
 	go func() {
 		d.wg.Wait()
@@ -239,11 +274,21 @@ func (d *daemon) producer() {
 		UserScale: d.cfg.scale,
 		Shards:    d.cfg.shards,
 	}
+	// On a resumed run the deterministic workload is regenerated from
+	// the same seed, and the already-analyzed prefix is fast-forwarded
+	// past at full speed: not paced, not fanned out, not counted again
+	// (the gen.events counter was restored from the checkpoint).
+	var idx int64
 	sink := func(e trace.Event) error {
 		if d.stopped.Load() {
 			return errStopped
 		}
-		d.paceSleep(e.Time, start)
+		if idx < d.resumeFrom {
+			idx++
+			return nil
+		}
+		idx++
+		d.paceSleep(e.Time-d.resumeTime, start)
 		if err := d.fan.Write(e); err != nil {
 			return err
 		}
@@ -251,6 +296,11 @@ func (d *daemon) producer() {
 		return nil
 	}
 	_, err := workload.GenerateStream(wcfg, sink)
+	if err == nil {
+		// Natural end of the trace: the analysis loop may finalize.
+		// Ordered before fan.Close, so subscribers observing EOF see it.
+		d.genComplete.Store(true)
+	}
 	if err == errStopped || errors.Is(err, trace.ErrFanoutDone) {
 		err = nil
 	}
@@ -269,7 +319,7 @@ func (d *daemon) recorder(sub *trace.FanoutSub, w *trace.Writer, buf *bytes.Buff
 	streamBytes := d.reg.Counter("fstraced.stream.bytes")
 	batch := trace.GetBatch()
 	defer trace.PutBatch(batch)
-	var first int64
+	first := d.resumeFrom // a resumed stream's first sealed record index
 	inSeg := 0
 	seal := func() bool {
 		if err := w.Flush(); err != nil {
@@ -314,7 +364,11 @@ func (d *daemon) recorder(sub *trace.FanoutSub, w *trace.Writer, buf *bytes.Buff
 }
 
 // analysisLoop is the online analysis subscriber: it feeds the rolling
-// analyzer.Stream and Validator, and finalizes both at end of stream.
+// analyzer.Stream and Validator, and finalizes both at end of stream —
+// but only when generation actually completed. An aborted run (shutdown
+// mid-stream) must leave the stream unfinished: Finish is destructive
+// (censored lifetimes, flushed intervals), and the final checkpoint has
+// to stay resumable.
 func (d *daemon) analysisLoop(sub *trace.FanoutSub) {
 	defer d.wg.Done()
 	defer sub.Cancel()
@@ -339,11 +393,35 @@ func (d *daemon) analysisLoop(sub *trace.FanoutSub) {
 		if err != io.EOF {
 			d.live.genErr = err
 		}
-		d.live.unclosed = d.live.validator.Finish()
-		d.live.final = d.live.stream.Finish()
-		d.live.done = true
+		if d.genComplete.Load() {
+			d.live.unclosed = d.live.validator.Finish()
+			d.live.final = d.live.stream.Finish()
+			d.live.done = true
+		} else {
+			d.live.aborted = true
+		}
 		d.live.mu.Unlock()
 		return
+	}
+}
+
+// checkpointLoop writes periodic daemon checkpoints so a crash or kill
+// loses at most one snapshot interval of analysis progress. The final
+// graceful-shutdown checkpoint is written by the caller of stop, after
+// the pipeline has quiesced.
+func (d *daemon) checkpointLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.snapshot)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := d.writeCheckpoint(); err != nil && err != errCkptFinished {
+				d.reg.Counter("fstraced.checkpoint.errors").Inc()
+			}
+		case <-d.stopCh:
+			return
+		}
 	}
 }
 
@@ -408,6 +486,7 @@ func (d *daemon) updateGauges() {
 	d.reg.Gauge("fstraced.stream.chunks_sealed").Set(chunks)
 	d.reg.Gauge("fstraced.stream.bytes_sealed").Set(bytes)
 	d.reg.Gauge("fstraced.stream.subscribers").Set(int64(subscribers))
+	d.reg.Gauge("fstraced.stream.evictions").Set(d.hub.evictedCount())
 	if done {
 		d.reg.Gauge("fstraced.gen.done").Set(1)
 	}
@@ -447,8 +526,17 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	total.Inc()
 	defer clients.Add(-1)
 
+	// Per-chunk write deadline: a client whose TCP window stays shut
+	// past the budget fails its write and the handler exits, instead of
+	// pinning a goroutine (and its queue) forever. The budget is several
+	// hub stall windows, so eviction (pipeline protection) fires before
+	// the deadline (goroutine reaping) does.
+	rc := http.NewResponseController(w)
+	writeBudget := 4 * d.hub.stall
+
 	w.Header().Set("Content-Type", "application/octet-stream")
 	fl, _ := w.(http.Flusher)
+	rc.SetWriteDeadline(time.Now().Add(writeBudget))
 	if _, err := w.Write(prefix); err != nil {
 		return
 	}
@@ -462,12 +550,19 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return // end of stream: the response ends, the client reader sees EOF
 			}
+			rc.SetWriteDeadline(time.Now().Add(writeBudget))
 			if _, err := w.Write(c.data); err != nil {
 				return
 			}
 			if fl != nil {
 				fl.Flush()
 			}
+		case <-sub.evicted:
+			// The hub gave up on us: we stalled past the budget while
+			// chunks backed up. Hang up; the client can rejoin and
+			// resync off the checkpoint protocol.
+			d.reg.Counter("fstraced.stream.evicted").Inc()
+			return
 		case <-ctx.Done():
 			return
 		}
@@ -516,6 +611,22 @@ func (d *daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a binary trace", http.StatusMethodNotAllowed)
 		return
 	}
+	// Bounded admission: at most cfg.maxIngest uploads analyze
+	// concurrently; beyond that the daemon sheds load with 429 and a
+	// Retry-After hint rather than queueing unboundedly. fault.Retry on
+	// the client side honors the hint.
+	select {
+	case d.ingSem <- struct{}{}:
+		defer func() { <-d.ingSem }()
+	default:
+		d.reg.Counter("fstraced.ingest.shed").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest capacity exhausted; retry later", http.StatusTooManyRequests)
+		return
+	}
+	// An upload that stops sending bytes must not hold its admission
+	// slot forever: budget the whole body read.
+	http.NewResponseController(w).SetReadDeadline(time.Now().Add(2 * time.Minute))
 	lenient := r.URL.Query().Get("lenient") == "1"
 	name := r.URL.Query().Get("name")
 	if name == "" {
@@ -608,10 +719,12 @@ type statsPayload struct {
 		Shards     int     `json:"shards"`
 		Checkpoint int     `json:"checkpoint_interval"`
 		Retain     int     `json:"retain_chunks"`
+		ResumedAt  int64   `json:"resumed_at_record,omitempty"`
 	} `json:"service"`
 	Generation struct {
 		Events        int64  `json:"events"`
 		Done          bool   `json:"done"`
+		Aborted       bool   `json:"aborted,omitempty"`
 		Err           string `json:"err,omitempty"`
 		RecordsSealed int64  `json:"records_sealed"`
 		ChunksSealed  int64  `json:"chunks_sealed"`
@@ -651,6 +764,7 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	p.Service.Shards = d.cfg.shards
 	p.Service.Checkpoint = d.cfg.interval
 	p.Service.Retain = d.cfg.retain
+	p.Service.ResumedAt = d.resumeFrom
 
 	records, chunks, bytes, _, _ := d.hub.stats()
 	p.Generation.Events = d.reg.Counter("fstraced.gen.events").Value()
@@ -663,6 +777,7 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	d.live.mu.Lock()
 	p.Analysis.Events = d.live.events
 	p.Generation.Done = d.live.done
+	p.Generation.Aborted = d.live.aborted
 	if d.live.genErr != nil {
 		p.Generation.Err = d.live.genErr.Error()
 	}

@@ -22,16 +22,24 @@ import (
 
 // goldenEvents generates the 8h seed-1 A5 trace the daemon under test
 // will serve, as the ground truth every client's bytes decode back to.
+// Several tests need it, so it is generated once and never mutated.
+var (
+	goldenOnce   sync.Once
+	goldenCached []trace.Event
+	goldenErr    error
+)
+
 func goldenEvents(t *testing.T) []trace.Event {
 	t.Helper()
-	var events []trace.Event
-	_, err := workload.GenerateStream(
-		workload.Config{Profile: "A5", Seed: 1, Duration: 8 * trace.Hour},
-		func(e trace.Event) error { events = append(events, e); return nil })
-	if err != nil {
-		t.Fatalf("golden generate: %v", err)
+	goldenOnce.Do(func() {
+		_, goldenErr = workload.GenerateStream(
+			workload.Config{Profile: "A5", Seed: 1, Duration: 8 * trace.Hour},
+			func(e trace.Event) error { goldenCached = append(goldenCached, e); return nil })
+	})
+	if goldenErr != nil {
+		t.Fatalf("golden generate: %v", goldenErr)
 	}
-	return events
+	return goldenCached
 }
 
 // readStream decodes a full v2 HTTP response body.

@@ -1,6 +1,9 @@
 package main
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // The stream hub fans the recorder's byte stream out to HTTP clients.
 //
@@ -16,7 +19,11 @@ import "sync"
 // Every subscriber has a small bounded chunk queue. The hub's broadcast
 // blocks on a full queue, which stalls the recorder, which stalls the
 // producer through the fan-out — per-client backpressure all the way to
-// generation, no unbounded buffering anywhere.
+// generation, no unbounded buffering anywhere. The blocking has a
+// budget, though: a consumer that stays stalled past the hub's stall
+// window is evicted — its handler is told to hang up — so one dead
+// client cannot hold the whole pipeline hostage. Backpressure is for
+// slow clients; eviction is for gone ones.
 
 // chunk is one sealed checkpoint segment of the shared byte stream.
 type chunk struct {
@@ -28,10 +35,16 @@ type chunk struct {
 // hubChanBuffer is a subscriber's queue capacity in chunks.
 const hubChanBuffer = 8
 
+// defaultStall is the stall budget when the hub is built with none: how
+// long seal waits on one full subscriber queue before evicting it.
+const defaultStall = 5 * time.Second
+
 type hubSub struct {
-	ch   chan *chunk
-	gone chan struct{} // closed by the subscriber's handler on exit
-	once sync.Once
+	ch      chan *chunk
+	gone    chan struct{} // closed by the subscriber's handler on exit
+	evicted chan struct{} // closed by the hub when the stall budget runs out
+	once    sync.Once
+	evOnce  sync.Once
 }
 
 // leave marks the subscriber gone so a blocked broadcast releases.
@@ -41,21 +54,26 @@ type streamHub struct {
 	mu     sync.Mutex
 	header []byte
 	retain int
+	stall  time.Duration
 	ring   []*chunk // most recent sealed chunks, oldest first
 	subs   map[*hubSub]struct{}
 	closed bool
 
 	// Sealed-stream accounting, all under mu.
-	records int64
-	chunks  int64
-	bytes   int64
+	records   int64
+	chunks    int64
+	bytes     int64
+	evictions int64
 }
 
-func newStreamHub(retain int) *streamHub {
+func newStreamHub(retain int, stall time.Duration) *streamHub {
 	if retain < 1 {
 		retain = 1
 	}
-	return &streamHub{retain: retain, subs: make(map[*hubSub]struct{})}
+	if stall <= 0 {
+		stall = defaultStall
+	}
+	return &streamHub{retain: retain, stall: stall, subs: make(map[*hubSub]struct{})}
 }
 
 // setHeader installs the stream preamble every subscriber's reply
@@ -73,7 +91,11 @@ func (h *streamHub) setHeader(b []byte) {
 // neither. On a closed hub the returned channel is already closed: the
 // client gets the prefix (the final state of the stream) and EOF.
 func (h *streamHub) subscribe(fromLatest bool) ([]byte, *hubSub) {
-	s := &hubSub{ch: make(chan *chunk, hubChanBuffer), gone: make(chan struct{})}
+	s := &hubSub{
+		ch:      make(chan *chunk, hubChanBuffer),
+		gone:    make(chan struct{}),
+		evicted: make(chan struct{}),
+	}
 	h.mu.Lock()
 	prefix := append([]byte(nil), h.header...)
 	if !fromLatest {
@@ -101,8 +123,12 @@ func (h *streamHub) unsubscribe(s *hubSub) {
 
 // seal publishes one finished chunk: appends it to the retained ring
 // and delivers it to every subscriber, blocking on full queues (that
-// blocking is the backpressure contract). Only the recorder calls seal,
-// and never after close.
+// blocking is the backpressure contract) — but only up to the stall
+// budget. A subscriber whose queue stays full that long is evicted:
+// removed from the hub and told to hang up, so the recorder, and
+// through the fan-out the producer, never stalls longer than one
+// budget per dead client. Only the recorder calls seal, and never
+// after close.
 func (h *streamHub) seal(c *chunk) {
 	h.mu.Lock()
 	h.ring = append(h.ring, c)
@@ -117,12 +143,44 @@ func (h *streamHub) seal(c *chunk) {
 		subs = append(subs, s)
 	}
 	h.mu.Unlock()
+	var timer *time.Timer
 	for _, s := range subs {
 		select {
 		case s.ch <- c:
+			continue
 		case <-s.gone:
+			continue
+		default:
+		}
+		if timer == nil {
+			timer = time.NewTimer(h.stall)
+		} else {
+			timer.Reset(h.stall)
+		}
+		select {
+		case s.ch <- c:
+		case <-s.gone:
+		case <-timer.C:
+			h.evict(s)
+			continue // timer already drained
+		}
+		if !timer.Stop() {
+			<-timer.C
 		}
 	}
+}
+
+// evict removes a stalled subscriber and signals its handler to hang
+// up. The subscriber's channel is left open (close remains hub.close's
+// job); the handler exits on the evicted signal instead.
+func (h *streamHub) evict(s *hubSub) {
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		h.evictions++
+	}
+	h.mu.Unlock()
+	s.evOnce.Do(func() { close(s.evicted) })
 }
 
 // close ends the stream: every subscriber's channel is closed after its
@@ -146,4 +204,12 @@ func (h *streamHub) stats() (records, chunks, bytes int64, subscribers int, clos
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.records, h.chunks, h.bytes, len(h.subs), h.closed
+}
+
+// evictedCount returns how many subscribers the hub has evicted for
+// exhausting their stall budget.
+func (h *streamHub) evictedCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evictions
 }

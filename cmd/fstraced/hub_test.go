@@ -14,7 +14,7 @@ func mkChunk(first int64, n int) *chunk {
 // a subscriber that stops reading stalls the broadcaster once its queue
 // fills, and the stall releases the moment the subscriber leaves.
 func TestHubBackpressureBlocksAndReleases(t *testing.T) {
-	h := newStreamHub(2)
+	h := newStreamHub(2, time.Minute) // stall budget far beyond the test's windows
 	h.setHeader([]byte("HDR"))
 	_, stalled := h.subscribe(false)
 
@@ -40,12 +40,57 @@ func TestHubBackpressureBlocksAndReleases(t *testing.T) {
 	}
 }
 
+// TestHubEvictsStalledSubscriber: a subscriber stalled past the budget
+// is evicted — seal completes, the evicted signal fires, the sub is
+// gone from the hub — while a healthy subscriber still receives every
+// chunk.
+func TestHubEvictsStalledSubscriber(t *testing.T) {
+	h := newStreamHub(64, 30*time.Millisecond)
+	h.setHeader([]byte("HDR"))
+	_, stalled := h.subscribe(false)
+	_, healthy := h.subscribe(false)
+
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range healthy.ch {
+			n++
+		}
+		drained <- n
+	}()
+
+	total := hubChanBuffer + 4 // overflow the stalled queue by several chunks
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		h.seal(mkChunk(int64(i), 1))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sealing %d chunks past a dead subscriber took %v", total, elapsed)
+	}
+	if n := h.evictedCount(); n != 1 {
+		t.Fatalf("evictions = %d, want exactly 1", n)
+	}
+	select {
+	case <-stalled.evicted:
+	default:
+		t.Fatal("evicted subscriber's signal channel not closed")
+	}
+	if _, _, _, subs, _ := h.stats(); subs != 1 {
+		t.Fatalf("subscribers = %d after eviction, want 1", subs)
+	}
+
+	h.close()
+	if n := <-drained; n != total {
+		t.Fatalf("healthy subscriber got %d of %d chunks", n, total)
+	}
+}
+
 // TestHubSubscribeReplayAndClose: the prefix is atomic with
 // registration (every chunk exactly once, replayed or live), the ring
 // retains only the newest chunks, and post-close subscribers get the
 // final state plus immediate EOF.
 func TestHubSubscribeReplayAndClose(t *testing.T) {
-	h := newStreamHub(2)
+	h := newStreamHub(2, 0)
 	h.setHeader([]byte("HDR"))
 	for i := 0; i < 5; i++ {
 		h.seal(mkChunk(int64(i), 1))

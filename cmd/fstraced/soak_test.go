@@ -1,0 +1,418 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bsdtrace/internal/analyzer"
+	"bsdtrace/internal/fault"
+	"bsdtrace/internal/trace"
+)
+
+// TestDaemonChaosSoak is the issue's soak scenario: a daemon serves its
+// stream through a fault-injecting listener (seeded resets, partial
+// writes, latency) to a pool of retrying clients, is killed abruptly
+// mid-run — no graceful checkpoint, only the periodic one on disk —
+// and a second daemon resumes from that file. Three properties are
+// pinned: zero corruption (every chaos connection decoded a contiguous
+// byte-exact window of the golden trace, because only checkpoint-
+// verified segments ever reach a decoder), exact loss accounting (a
+// fresh client of the resumed stream sees precisely the pre-crash
+// records as skipped, in one segment), and byte-exact completion (the
+// final analysis and report equal an uninterrupted batch run's).
+func TestDaemonChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	golden := goldenEvents(t)
+	goldenAn := analyzer.Analyze(golden, analyzer.Options{})
+	baseGoroutines := runtime.NumGoroutine()
+	state := filepath.Join(t.TempDir(), "fstraced.state")
+	cfg := config{
+		profile:  "A5",
+		seed:     1,
+		duration: 8 * trace.Hour,
+		scale:    1,
+		shards:   1,
+		interval: 256,
+		retain:   1 << 20,
+		pace:     (8 * trace.Hour).Seconds() / 4.0, // ~4s wall if never killed
+		snapshot: 25 * time.Millisecond,
+		state:    state,
+		stall:    250 * time.Millisecond,
+	}
+	d1 := newDaemon(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	fl := fault.NewFaultyListener(ln, fault.NetConfig{
+		Seed:         42,
+		Reset:        0.01,
+		PartialWrite: 0.005,
+		Latency:      200 * time.Microsecond,
+	})
+	srv1 := &http.Server{Handler: d1.mux, ReadHeaderTimeout: 5 * time.Second}
+	serveDone := make(chan struct{})
+	go func() {
+		srv1.Serve(fl)
+		close(serveDone)
+	}()
+	base := "http://" + ln.Addr().String()
+	d1.start()
+
+	// Chaos clients hammer /stream through the faulty listener,
+	// collecting whatever each connection decoded before its fault.
+	type connResult struct {
+		events []trace.Event
+		skip   trace.SkipStats
+	}
+	var (
+		resMu   sync.Mutex
+		results []connResult
+	)
+	stopClients := make(chan struct{})
+	var cwg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			tr := &http.Transport{}
+			defer tr.CloseIdleConnections()
+			client := &http.Client{Transport: tr}
+			for {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				resp, err := client.Get(base + "/stream")
+				if err != nil {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				events, skip, _ := readStream(resp.Body) // mid-body faults are the point
+				resp.Body.Close()
+				resMu.Lock()
+				results = append(results, connResult{events, skip})
+				resMu.Unlock()
+			}
+		}()
+	}
+
+	// Soak until a periodic checkpoint lands mid-stream, then kill the
+	// daemon the way a crash would: no final checkpoint written.
+	waitUntil(t, 20*time.Second, "a mid-stream periodic checkpoint", func() bool {
+		st, err := loadCheckpoint(state, cfg)
+		return err == nil && st.events > 20000 // a real soak window: ~1s of faulted streaming
+	})
+	close(stopClients)
+	srv1.Close()
+	cwg.Wait()
+	d1.stop()
+
+	// Zero corruption across every chaos connection: each replays from
+	// record 0 and the injected faults only truncate, so whatever a
+	// connection decoded must be exactly a prefix of the golden trace —
+	// checkpoint verification never lets a damaged event through. (A
+	// nonzero skip here is tail accounting: records decoded but cut off
+	// before their segment's checkpoint verified, hence not emitted.)
+	resMu.Lock()
+	conns := append([]connResult(nil), results...)
+	resMu.Unlock()
+	windows := 0
+	for i, res := range conns {
+		if len(res.events) == 0 {
+			continue
+		}
+		if len(res.events) > len(golden) {
+			t.Fatalf("conn %d decoded %d events, more than the %d generated", i, len(res.events), len(golden))
+		}
+		if !reflect.DeepEqual(res.events, golden[:len(res.events)]) {
+			t.Fatalf("conn %d decoded a corrupt prefix (%d events, skip %+v)", i, len(res.events), res.skip)
+		}
+		windows++
+	}
+	if windows == 0 {
+		t.Fatal("no chaos connection decoded any events; the soak exercised nothing")
+	}
+
+	// Crash recovery: resume from the periodic checkpoint at full speed.
+	st, err := loadCheckpoint(state, cfg)
+	if err != nil {
+		t.Fatalf("reload checkpoint after kill: %v", err)
+	}
+	if st.events <= 0 || st.events >= int64(len(golden)) {
+		t.Fatalf("checkpoint at %d of %d; not mid-stream", st.events, len(golden))
+	}
+	cfg2 := cfg
+	cfg2.pace = 0
+	d2 := newDaemon(cfg2)
+	d2.restore(st)
+	srv2 := httptest.NewServer(d2.mux)
+	client2 := srv2.Client()
+	d2.start()
+
+	// A fresh client (with the retrying helper, as a shed or reset
+	// client would use it) reads the resumed stream.
+	var events []trace.Event
+	var skip trace.SkipStats
+	err = fault.Retry(fault.RetryConfig{Seed: 7, Attempts: 5}, func(int) (time.Duration, error) {
+		resp, err := client2.Get(srv2.URL + "/stream")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		events, skip, err = readStream(resp.Body)
+		return 0, err
+	})
+	if err != nil {
+		t.Fatalf("read resumed stream: %v", err)
+	}
+	if skip.Records != st.events || skip.Segments != 1 {
+		t.Fatalf("resumed skip = %+v, want exactly %d records in 1 segment", skip, st.events)
+	}
+	if !reflect.DeepEqual(events, golden[st.events:]) {
+		t.Fatalf("resumed stream diverged from the golden suffix at record %d", st.events)
+	}
+
+	<-d2.genDone
+	d2.live.mu.Lock()
+	final, verrs := d2.live.final, len(d2.live.validator.Errs())
+	d2.live.mu.Unlock()
+	if verrs != 0 {
+		t.Fatalf("validator flagged %d errors across the crash", verrs)
+	}
+	if final == nil || !reflect.DeepEqual(final, goldenAn) {
+		t.Fatal("post-crash final analysis differs from an uninterrupted batch run")
+	}
+	resp, err := client2.Get(srv2.URL + "/report")
+	if err != nil {
+		t.Fatalf("GET /report: %v", err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var local bytes.Buffer
+	renderReport(&local, "a5", goldenAn)
+	if !bytes.Equal(served, local.Bytes()) {
+		t.Fatal("post-crash report differs from the batch-rendered report")
+	}
+
+	srv2.Close()
+	client2.CloseIdleConnections()
+	d2.stop()
+	<-serveDone
+	goroutineFence(t, baseGoroutines)
+}
+
+// smallBufListener clamps the send buffer of every accepted connection,
+// so a non-reading peer stalls the server's writes after a few KB
+// instead of letting the kernel absorb the whole stream.
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(8192)
+		}
+	}
+	return c, err
+}
+
+// TestDaemonEvictsStalledStreamClient: a client that connects and never
+// reads a byte must not hold the pipeline hostage. Its receive buffer
+// fills, the handler's writes stall, its hub queue fills, and the hub
+// evicts it after the stall budget — generation still runs to
+// completion and every goroutine is reaped.
+func TestDaemonEvictsStalledStreamClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload generation in -short mode")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	cfg := config{
+		profile:  "A5",
+		seed:     2,
+		duration: 8 * trace.Hour, // ~1 MB encoded: far beyond what the clamped sockets absorb
+		scale:    1,
+		shards:   1,
+		interval: 128,
+		retain:   8,
+		pace:     0,
+		snapshot: time.Second,
+		stall:    50 * time.Millisecond,
+	}
+	d := newDaemon(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: d.mux}
+	serveDone := make(chan struct{})
+	go func() {
+		srv.Serve(smallBufListener{ln})
+		close(serveDone)
+	}()
+
+	// The dead client subscribes before generation starts, so it is
+	// guaranteed to be in the hub's way when chunks begin to seal.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	if _, err := io.WriteString(conn, "GET /stream HTTP/1.1\r\nHost: fstraced\r\n\r\n"); err != nil {
+		t.Fatalf("send request: %v", err)
+	}
+	waitUntil(t, 10*time.Second, "the dead client's subscription", func() bool {
+		_, _, _, subs, _ := d.hub.stats()
+		return subs >= 1
+	})
+	d.start()
+
+	waitUntil(t, 20*time.Second, "the stalled subscriber's eviction", func() bool {
+		return d.hub.evictedCount() >= 1
+	})
+	select {
+	case <-d.genDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("generation did not complete after evicting the stalled client")
+	}
+	d.live.mu.Lock()
+	done := d.live.done
+	d.live.mu.Unlock()
+	if !done {
+		t.Fatal("analysis did not finalize after the eviction")
+	}
+
+	conn.Close()
+	srv.Close()
+	d.stop()
+	<-serveDone
+	goroutineFence(t, baseGoroutines)
+}
+
+// TestIngestShedding: with the single ingest slot held by a stalled
+// upload, the next upload is shed with 429 and a Retry-After hint, the
+// shed counter moves, and a client retrying through fault.Retry (which
+// honors the hint) gets through once the slot frees.
+func TestIngestShedding(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	cfg := config{
+		profile:   "A5",
+		seed:      9,
+		duration:  trace.Hour,
+		scale:     1,
+		shards:    1,
+		interval:  256,
+		retain:    4,
+		pace:      0,
+		snapshot:  time.Second,
+		maxIngest: 1,
+	}
+	d := newDaemon(cfg)
+	srv := httptest.NewServer(d.mux)
+	client := srv.Client()
+	d.start()
+
+	// The smallest valid upload: one open event.
+	var tiny bytes.Buffer
+	w := trace.NewWriter(&tiny)
+	if err := w.Write(trace.Event{Time: 1, Kind: trace.KindOpen, OpenID: 1, File: 1, User: 1, Mode: trace.ReadOnly, Size: 64}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// Occupy the single slot with an upload that stalls mid-body.
+	pr, pw := io.Pipe()
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := client.Post(srv.URL+"/ingest?name=slow", "application/octet-stream", pr)
+		if err != nil {
+			slowDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			slowDone <- fmt.Errorf("slow upload: status %d: %s", resp.StatusCode, b)
+			return
+		}
+		slowDone <- nil
+	}()
+	if _, err := pw.Write(tiny.Bytes()); err != nil {
+		t.Fatalf("feed slow body: %v", err)
+	}
+
+	// With the slot held, the next upload is shed.
+	var retryAfter string
+	waitUntil(t, 10*time.Second, "load shedding to kick in", func() bool {
+		resp, err := client.Post(srv.URL+"/ingest?name=probe", "application/octet-stream", bytes.NewReader(tiny.Bytes()))
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter = resp.Header.Get("Retry-After")
+			return true
+		}
+		return false
+	})
+	if retryAfter != "1" {
+		t.Fatalf("shed response Retry-After = %q, want \"1\"", retryAfter)
+	}
+	if n := d.reg.Counter("fstraced.ingest.shed").Value(); n < 1 {
+		t.Fatalf("shed counter = %d, want >= 1", n)
+	}
+
+	// Release the slot; the held upload completes cleanly...
+	pw.Close()
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+	// ...and a shed client retrying with the helper gets through.
+	err := fault.Retry(fault.RetryConfig{Seed: 2, Attempts: 5, Base: 10 * time.Millisecond}, func(int) (time.Duration, error) {
+		resp, err := client.Post(srv.URL+"/ingest?name=retry", "application/octet-stream", bytes.NewReader(tiny.Bytes()))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			var hint time.Duration
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				hint = time.Duration(sec) * time.Second
+			}
+			return hint, fmt.Errorf("shed")
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("retrying upload: %v", err)
+	}
+
+	srv.Close()
+	client.CloseIdleConnections()
+	d.stop()
+	goroutineFence(t, baseGoroutines)
+}

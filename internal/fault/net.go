@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network fault injection, for exercising fstraced's self-protection:
+// a FaultyListener wraps a real listener and hands out connections that
+// misbehave on a seeded, per-connection schedule — stalled reads,
+// partial writes, abrupt resets, injected latency. The same seed
+// produces the same schedule, so a chaos run that finds a bug is
+// replayable. Zero-valued probabilities disable that fault, so a
+// NetConfig{} wrapper is transparent.
+
+// ErrInjectedReset is the error a faulted operation reports after the
+// wrapper abruptly closes the connection.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// NetConfig sets the per-operation fault probabilities of a wrapped
+// connection. Probabilities are evaluated independently per Read/Write
+// call on the connection's own seeded RNG.
+type NetConfig struct {
+	// Seed derives every connection's fault schedule; connection i of a
+	// listener uses Seed+i, so schedules are deterministic per accept
+	// order but differ across connections.
+	Seed int64
+	// StallRead is the probability that a Read first sleeps for Stall
+	// (simulating a peer that stops sending mid-stream).
+	StallRead float64
+	// Stall is the stalled-read duration.
+	Stall time.Duration
+	// PartialWrite is the probability that a Write delivers only a
+	// prefix of its buffer and then resets the connection — the
+	// mid-write crash case. Per net.Conn's contract the short count is
+	// returned with an error.
+	PartialWrite float64
+	// Reset is the probability that an operation abruptly closes the
+	// connection before transferring anything.
+	Reset float64
+	// Latency, when positive, adds a uniform [0, Latency) delay to
+	// every operation.
+	Latency time.Duration
+}
+
+// zero reports whether the configuration injects nothing.
+func (c NetConfig) zero() bool {
+	return c.StallRead == 0 && c.PartialWrite == 0 && c.Reset == 0 && c.Latency == 0
+}
+
+// FaultyListener wraps a net.Listener so every accepted connection
+// misbehaves per cfg. Use it in front of an HTTP server under test.
+type FaultyListener struct {
+	net.Listener
+	cfg  NetConfig
+	mu   sync.Mutex
+	next int64
+}
+
+// NewFaultyListener wraps ln.
+func NewFaultyListener(ln net.Listener, cfg NetConfig) *FaultyListener {
+	return &FaultyListener{Listener: ln, cfg: cfg}
+}
+
+// Accept wraps the next connection with its own fault schedule.
+func (l *FaultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	id := l.next
+	l.next++
+	l.mu.Unlock()
+	return WrapConn(c, l.cfg, id), nil
+}
+
+// faultyConn injects faults into one connection. All fault decisions
+// come from its own seeded RNG under mu, so concurrent Read/Write are
+// safe and the schedule is a pure function of (cfg.Seed, id).
+type faultyConn struct {
+	net.Conn
+	cfg NetConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	broken bool
+}
+
+// WrapConn wraps one connection with the fault schedule derived from
+// cfg.Seed+id. A zero cfg returns the connection untouched.
+func WrapConn(c net.Conn, cfg NetConfig, id int64) net.Conn {
+	if cfg.zero() {
+		return c
+	}
+	return &faultyConn{
+		Conn: c,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed + id)),
+	}
+}
+
+// decide rolls the fault dice for one operation under mu.
+type verdict struct {
+	latency time.Duration
+	stall   bool
+	reset   bool
+	partial bool
+}
+
+func (c *faultyConn) decide(read bool) (verdict, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return verdict{}, ErrInjectedReset
+	}
+	var v verdict
+	if c.cfg.Latency > 0 {
+		v.latency = time.Duration(c.rng.Int63n(int64(c.cfg.Latency)))
+	}
+	if read && c.cfg.StallRead > 0 && c.rng.Float64() < c.cfg.StallRead {
+		v.stall = true
+	}
+	if !read && c.cfg.PartialWrite > 0 && c.rng.Float64() < c.cfg.PartialWrite {
+		v.partial = true
+	}
+	if c.cfg.Reset > 0 && c.rng.Float64() < c.cfg.Reset {
+		v.reset = true
+	}
+	return v, nil
+}
+
+// sever marks the connection dead and closes the underlying conn so
+// the peer observes a real reset, not a polite FIN-after-flush.
+func (c *faultyConn) sever() {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST on close
+	}
+	c.Conn.Close()
+}
+
+func (c *faultyConn) Read(p []byte) (int, error) {
+	v, err := c.decide(true)
+	if err != nil {
+		return 0, err
+	}
+	if v.latency > 0 {
+		time.Sleep(v.latency)
+	}
+	if v.stall && c.cfg.Stall > 0 {
+		time.Sleep(c.cfg.Stall)
+	}
+	if v.reset {
+		c.sever()
+		return 0, fmt.Errorf("read: %w", ErrInjectedReset)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	v, err := c.decide(false)
+	if err != nil {
+		return 0, err
+	}
+	if v.latency > 0 {
+		time.Sleep(v.latency)
+	}
+	if v.reset {
+		c.sever()
+		return 0, fmt.Errorf("write: %w", ErrInjectedReset)
+	}
+	if v.partial && len(p) > 1 {
+		n, _ := c.Conn.Write(p[:c.prefixLen(len(p))])
+		c.sever()
+		return n, fmt.Errorf("partial write after %d of %d bytes: %w", n, len(p), ErrInjectedReset)
+	}
+	return c.Conn.Write(p)
+}
+
+// prefixLen picks how much of a partial write to deliver: at least one
+// byte, never the whole buffer.
+func (c *faultyConn) prefixLen(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return 1 + c.rng.Intn(n-1)
+}

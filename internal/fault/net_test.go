@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected TCP pair on the loopback, because
+// net.Pipe lacks the deadline/linger surface the wrapper exercises.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server = <-done
+	if server == nil {
+		t.FailNow()
+	}
+	return client, server
+}
+
+// TestWrapConnTransparent: a zero config must not wrap at all.
+func TestWrapConnTransparent(t *testing.T) {
+	c, s := pipeConns(t)
+	defer c.Close()
+	defer s.Close()
+	if w := WrapConn(c, NetConfig{Seed: 42}, 0); w != c {
+		t.Fatalf("zero config wrapped the connection")
+	}
+}
+
+// TestFaultyConnReset: with Reset certain, the first operation fails
+// with the injected error, the connection is closed for good, and every
+// later operation reports the same.
+func TestFaultyConnReset(t *testing.T) {
+	c, s := pipeConns(t)
+	defer s.Close()
+	fc := WrapConn(c, NetConfig{Seed: 1, Reset: 1}, 0)
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write on reset-everything conn: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after injected reset: %v", err)
+	}
+}
+
+// TestFaultyConnPartialWrite: a partial write delivers a strict, nonzero
+// prefix and then kills the connection; the peer receives exactly that
+// prefix.
+func TestFaultyConnPartialWrite(t *testing.T) {
+	c, s := pipeConns(t)
+	defer s.Close()
+	fc := WrapConn(c, NetConfig{Seed: 7, PartialWrite: 1}, 0)
+	msg := []byte("0123456789abcdef")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("partial write err = %v", err)
+	}
+	if n < 1 || n >= len(msg) {
+		t.Fatalf("partial write delivered %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	got, _ := io.ReadAll(s)
+	if string(got) != string(msg[:n]) {
+		t.Fatalf("peer got %q, want the %d-byte prefix", got, n)
+	}
+}
+
+// TestFaultyConnDeterministic: two connections with the same seed and id
+// make identical fault decisions.
+func TestFaultyConnDeterministic(t *testing.T) {
+	run := func() (resets int) {
+		c, s := pipeConns(t)
+		defer s.Close()
+		fc := WrapConn(c, NetConfig{Seed: 99, Reset: 0.5}, 3)
+		go io.Copy(io.Discard, s)
+		for i := 0; i < 20; i++ {
+			if _, err := fc.Write([]byte("payload")); err != nil {
+				resets = i
+				return
+			}
+		}
+		return 20
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different schedules: first failure at %d vs %d", a, b)
+	}
+}
+
+// TestFaultyConnStallAndLatency: stalls and latency delay but do not
+// corrupt; the bytes still arrive intact.
+func TestFaultyConnStallAndLatency(t *testing.T) {
+	c, s := pipeConns(t)
+	defer s.Close()
+	fc := WrapConn(c, NetConfig{Seed: 5, StallRead: 1, Stall: 20 * time.Millisecond, Latency: 5 * time.Millisecond}, 0)
+	go func() {
+		s.Write([]byte("hello"))
+		s.Close()
+	}()
+	start := time.Now()
+	got, err := io.ReadAll(fc)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q through stalling conn", got)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("stall did not delay the read")
+	}
+}
+
+// TestFaultyListener: accepted connections carry distinct schedules but
+// the listener remains a working listener.
+func TestFaultyListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	fl := NewFaultyListener(ln, NetConfig{Seed: 11, Latency: time.Millisecond})
+	defer fl.Close()
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c) // echo
+			}(c)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		c.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+			t.Fatalf("echo %d: %q, %v", i, buf, err)
+		}
+		c.Close()
+	}
+}
+
+// TestRetryHonorsHintAndBackoff: the hint replaces the computed backoff,
+// growth is exponential up to the cap, jitter keeps every delay within
+// [d/2, d], and success stops the loop.
+func TestRetryHonorsHintAndBackoff(t *testing.T) {
+	var delays []time.Duration
+	cfg := RetryConfig{
+		Seed:     3,
+		Attempts: 5,
+		Base:     100 * time.Millisecond,
+		Cap:      400 * time.Millisecond,
+		Sleep:    func(d time.Duration) { delays = append(delays, d) },
+	}
+	calls := 0
+	err := Retry(cfg, func(attempt int) (time.Duration, error) {
+		calls++
+		if attempt != calls-1 {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		switch attempt {
+		case 1:
+			return time.Second, errors.New("shed") // hint beyond cap: clamped
+		case 3:
+			return 0, nil // success
+		default:
+			return 0, errors.New("fail")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 4 || len(delays) != 3 {
+		t.Fatalf("calls = %d, sleeps = %d; want 4 and 3", calls, len(delays))
+	}
+	wantMax := []time.Duration{100 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	for i, d := range delays {
+		if d < wantMax[i]/2 || d > wantMax[i] {
+			t.Fatalf("delay %d = %v, want within [%v, %v]", i, d, wantMax[i]/2, wantMax[i])
+		}
+	}
+}
+
+// TestRetryExhaustion: the budget is honored and the last error is
+// wrapped in the failure.
+func TestRetryExhaustion(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("still down")
+	err := Retry(RetryConfig{Attempts: 3, Sleep: func(time.Duration) {}},
+		func(int) (time.Duration, error) { calls++; return 0, sentinel })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+// TestRetryDeterministicJitter: equal seeds, equal schedules.
+func TestRetryDeterministicJitter(t *testing.T) {
+	run := func() []time.Duration {
+		var delays []time.Duration
+		Retry(RetryConfig{Seed: 8, Attempts: 6, Sleep: func(d time.Duration) { delays = append(delays, d) }},
+			func(int) (time.Duration, error) { return 0, errors.New("x") })
+		return delays
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Retry with seeded, jittered exponential backoff — the client half of
+// fstraced's load-shedding protocol. When the daemon sheds an upload
+// with 429 and a Retry-After hint, the caller passes the hint back
+// through the attempt's return value and the backoff honors it; without
+// a hint the delay doubles from Base up to Cap, with equal jitter so a
+// fleet of shed clients does not retry in lockstep. The jitter comes
+// from the config's seed, so a retry schedule is reproducible in tests.
+
+// RetryConfig bounds a retry loop.
+type RetryConfig struct {
+	// Seed drives the jitter; equal seeds give equal schedules.
+	Seed int64
+	// Attempts is the maximum number of tries (min 1).
+	Attempts int
+	// Base is the first backoff delay (default 10ms).
+	Base time.Duration
+	// Cap bounds the grown delay (default 1s).
+	Cap time.Duration
+	// Sleep substitutes for time.Sleep in tests; nil means real sleep.
+	Sleep func(time.Duration)
+}
+
+// Retry calls op until it returns a nil error or the attempt budget is
+// spent, sleeping between attempts. op receives the attempt number
+// (from 0) and returns a server-provided delay hint (0 for none — e.g.
+// a parsed Retry-After header) alongside its error; a positive hint
+// replaces the computed backoff for the next wait, jitter included.
+// Retry returns nil on success, or the last error wrapped with the
+// attempt count.
+func Retry(cfg RetryConfig, op func(attempt int) (time.Duration, error)) error {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 10 * time.Millisecond
+	}
+	if cfg.Cap <= 0 {
+		cfg.Cap = time.Second
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	backoff := cfg.Base
+	var err error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		var hint time.Duration
+		hint, err = op(attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt == cfg.Attempts-1 {
+			break
+		}
+		delay := backoff
+		if hint > 0 {
+			delay = hint
+		}
+		if delay > cfg.Cap {
+			delay = cfg.Cap
+		}
+		// Equal jitter: half the delay fixed, half uniform, so retries
+		// never synchronize but never collapse to zero either.
+		delay = delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		sleep(delay)
+		if backoff < cfg.Cap {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("fault: gave up after %d attempts: %w", cfg.Attempts, err)
+}

@@ -58,6 +58,13 @@ type Writer struct {
 	segCRC     uint32
 	segBytes   int64
 	segRecords int
+
+	// resumed marks a writer continuing a logical stream from a nonzero
+	// record index (NewResumedWriterV2): the header is followed by an
+	// immediate checkpoint carrying the resume position, which a fresh
+	// reader uses to restore the absolute time and record index — and to
+	// account the records it never saw as skipped.
+	resumed bool
 }
 
 // NewWriter creates a version-1 Writer. The header is written on the
@@ -114,6 +121,13 @@ func (w *Writer) header() error {
 		return w.err
 	}
 	w.begun = true
+	if w.resumed {
+		// The resume checkpoint: an empty segment whose recordIdx and
+		// absTime are the resume position. A reader joining here resyncs
+		// off it exactly as it would off a mid-stream join, with the
+		// pre-resume records counted in its SkipStats.
+		w.writeCheckpoint()
+	}
 	return nil
 }
 

@@ -1,0 +1,211 @@
+package xfer
+
+import (
+	"fmt"
+	"sort"
+
+	"bsdtrace/internal/stats"
+	"bsdtrace/internal/trace"
+)
+
+// Scanner state serialization, for the online-analysis checkpoint: a
+// restored Scanner fed the remainder of a trace produces exactly the
+// callbacks the original would have, so transfer reconstruction survives
+// a daemon restart without rescanning the prefix. Maps are serialized in
+// sorted key order, making the encoding a deterministic function of the
+// scanner's state. Accumulated error strings are not preserved — a
+// checkpointed stream has already validated clean — only their count is,
+// so the 20-error cap keeps working across a restore.
+
+const scannerStateVersion = 1
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func decodeBool(buf []byte) (bool, []byte, error) {
+	if len(buf) < 1 {
+		return false, nil, stats.ErrCorruptState
+	}
+	return buf[0] != 0, buf[1:], nil
+}
+
+// AppendState appends the scanner's complete working state.
+func (s *Scanner) AppendState(buf []byte) []byte {
+	buf = stats.AppendUvarint(buf, scannerStateVersion)
+
+	buf = stats.AppendUvarint(buf, uint64(len(s.opens)))
+	ids := make([]trace.OpenID, 0, len(s.opens))
+	for id := range s.opens {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.opens[id]
+		sum := &st.summary
+		buf = stats.AppendUvarint(buf, uint64(sum.OpenID))
+		buf = stats.AppendUvarint(buf, uint64(sum.File))
+		buf = stats.AppendUvarint(buf, uint64(sum.User))
+		buf = stats.AppendUvarint(buf, uint64(sum.Mode))
+		buf = appendBool(buf, sum.Created)
+		buf = stats.AppendVarint(buf, int64(sum.OpenTime))
+		buf = stats.AppendVarint(buf, int64(sum.CloseTime))
+		buf = stats.AppendVarint(buf, sum.SizeAtOpen)
+		buf = stats.AppendVarint(buf, sum.SizeAtClose)
+		buf = stats.AppendVarint(buf, sum.Bytes)
+		buf = stats.AppendVarint(buf, int64(sum.Runs))
+		buf = stats.AppendVarint(buf, int64(sum.Seeks))
+		buf = appendBool(buf, sum.WholeFile)
+		buf = appendBool(buf, sum.Sequential)
+		buf = stats.AppendVarint(buf, st.pos)
+		buf = stats.AppendVarint(buf, int64(st.lastEvent))
+		buf = appendBool(buf, st.seenBytes)
+		buf = appendBool(buf, st.broken)
+	}
+
+	buf = stats.AppendUvarint(buf, uint64(len(s.sizes)))
+	files := make([]trace.FileID, 0, len(s.sizes))
+	for f := range s.sizes {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, f := range files {
+		buf = stats.AppendUvarint(buf, uint64(f))
+		buf = stats.AppendVarint(buf, s.sizes[f])
+	}
+
+	return stats.AppendUvarint(buf, uint64(len(s.errs)))
+}
+
+// maxStateEntries bounds map sizes claimed by a state blob so a corrupt
+// length prefix cannot force a giant allocation before the decode fails.
+const maxStateEntries = 1 << 28
+
+// DecodeState replaces the scanner's state with one appended by
+// AppendState, returning the remaining bytes. Callbacks are untouched.
+func (s *Scanner) DecodeState(buf []byte) ([]byte, error) {
+	v, buf, err := stats.DecodeUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if v != scannerStateVersion {
+		return nil, fmt.Errorf("xfer: scanner state version %d, want %d", v, scannerStateVersion)
+	}
+
+	n, buf, err := stats.DecodeUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStateEntries {
+		return nil, stats.ErrCorruptState
+	}
+	opens := make(map[trace.OpenID]*openState, n)
+	for i := uint64(0); i < n; i++ {
+		st := &openState{}
+		sum := &st.summary
+		var u int64
+		var x uint64
+		if x, buf, err = stats.DecodeUvarint(buf); err != nil {
+			return nil, err
+		}
+		sum.OpenID = trace.OpenID(x)
+		if x, buf, err = stats.DecodeUvarint(buf); err != nil {
+			return nil, err
+		}
+		sum.File = trace.FileID(x)
+		if x, buf, err = stats.DecodeUvarint(buf); err != nil {
+			return nil, err
+		}
+		sum.User = trace.UserID(x)
+		if x, buf, err = stats.DecodeUvarint(buf); err != nil {
+			return nil, err
+		}
+		sum.Mode = trace.Mode(x)
+		if sum.Created, buf, err = decodeBool(buf); err != nil {
+			return nil, err
+		}
+		if u, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		sum.OpenTime = trace.Time(u)
+		if u, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		sum.CloseTime = trace.Time(u)
+		if sum.SizeAtOpen, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		if sum.SizeAtClose, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		if sum.Bytes, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		if u, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		sum.Runs = int(u)
+		if u, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		sum.Seeks = int(u)
+		if sum.WholeFile, buf, err = decodeBool(buf); err != nil {
+			return nil, err
+		}
+		if sum.Sequential, buf, err = decodeBool(buf); err != nil {
+			return nil, err
+		}
+		if st.pos, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		if u, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		st.lastEvent = trace.Time(u)
+		if st.seenBytes, buf, err = decodeBool(buf); err != nil {
+			return nil, err
+		}
+		if st.broken, buf, err = decodeBool(buf); err != nil {
+			return nil, err
+		}
+		opens[sum.OpenID] = st
+	}
+
+	n, buf, err = stats.DecodeUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStateEntries {
+		return nil, stats.ErrCorruptState
+	}
+	sizes := make(map[trace.FileID]int64, n)
+	for i := uint64(0); i < n; i++ {
+		var f uint64
+		var sz int64
+		if f, buf, err = stats.DecodeUvarint(buf); err != nil {
+			return nil, err
+		}
+		if sz, buf, err = stats.DecodeVarint(buf); err != nil {
+			return nil, err
+		}
+		sizes[trace.FileID(f)] = sz
+	}
+
+	nerrs, buf, err := stats.DecodeUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nerrs > 20 {
+		return nil, stats.ErrCorruptState
+	}
+	s.opens = opens
+	s.sizes = sizes
+	s.errs = s.errs[:0]
+	for i := uint64(0); i < nerrs; i++ {
+		s.errs = append(s.errs, fmt.Errorf("xfer: error before checkpoint restore (detail not preserved)"))
+	}
+	return buf, nil
+}
