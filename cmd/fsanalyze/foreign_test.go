@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bsdtrace/internal/analyzer"
+)
+
+// The committed adapter fixtures double as CLI test inputs.
+func fixturePath(name string) string {
+	return filepath.Join("..", "..", "internal", "trace", "adapt", "testdata", name)
+}
+
+func TestRunForeignBlockCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{fixturePath("msr-sample.csv")}, options{format: "blockcsv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Transfer summary.", "Foreign-trace import."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// No logical section may render for a block-class trace.
+	for _, banned := range []string{"Table III.", "Table IV.", "Table V."} {
+		if strings.Contains(out, banned) {
+			t.Errorf("block-class output rendered logical section %q", banned)
+		}
+	}
+}
+
+func TestRunForeignLogicalSectionRefused(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{fixturePath("msr-sample.csv")}, options{format: "blockcsv", only: "tableV"})
+	if !errors.Is(err, analyzer.ErrUnsupportedClass) {
+		t.Fatalf("run(-only tableV, blockcsv) = %v, want ErrUnsupportedClass", err)
+	}
+	var uce *analyzer.UnsupportedClassError
+	if !errors.As(err, &uce) {
+		t.Fatalf("error %v is not a typed UnsupportedClassError", err)
+	}
+	// -top interprets opens, so it is refused too.
+	err = run(&buf, []string{fixturePath("zipf-sample.txt")}, options{format: "pageref", top: 5})
+	if !errors.Is(err, analyzer.ErrUnsupportedClass) {
+		t.Fatalf("run(-top, pageref) = %v, want ErrUnsupportedClass", err)
+	}
+}
+
+func TestRunForeignStraceFullBattery(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{fixturePath("strace-sample.txt")}, options{format: "strace"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Strace imports carry real logical structure: the full battery plus
+	// the transfer and import tables all render.
+	for _, want := range []string{"Table III.", "Table V.", "Transfer summary.", "Foreign-trace import."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strace output missing %q", want)
+		}
+	}
+}
+
+func TestRunForeignOnlyTransfers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{fixturePath("zipf-sample.txt")}, options{format: "pageref", only: "transfers"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Transfer summary.") {
+		t.Error("-only transfers printed no transfer summary")
+	}
+	if strings.Contains(out, "Foreign-trace import.") {
+		t.Error("-only transfers printed more than the requested section")
+	}
+}
+
+func TestRunForeignValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{fixturePath("msr-sample.csv")}, options{format: "blockcsv", validate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 validation errors") {
+		t.Errorf("adapter stream failed validation:\n%s", buf.String())
+	}
+}
+
+func TestRunForeignMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{fixturePath("msr-truncated.csv")}, options{format: "blockcsv"})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed fixture error = %v, want positioned line-2 failure", err)
+	}
+}
+
+func TestRunUnknownFormatAndSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{os.DevNull}, options{format: "parquet"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(&buf, []string{os.DevNull}, options{only: "tableIX"}); err == nil {
+		t.Error("unknown section accepted")
+	}
+}

@@ -14,6 +14,15 @@
 //	fsanalyze -text c4.txt            # text-format input
 //	fsanalyze -top 10 a5.trace        # busiest files
 //	fsanalyze -from 1h -to 2h a5.trace  # analyze one window
+//
+// Foreign traces import through the adapt package. Their class decides
+// which half of the metric battery applies: strace logs carry real
+// open/close structure and get the full Section-5 analysis, while block
+// and page traces only support the transfer-level sections.
+//
+//	fsanalyze -format strace app.strace
+//	fsanalyze -format blockcsv volume.csv
+//	fsanalyze -format pageref refs.txt
 package main
 
 import (
@@ -30,10 +39,13 @@ import (
 	"bsdtrace/internal/obs"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
+	"bsdtrace/internal/trace/adapt"
+	"bsdtrace/internal/xfer"
 )
 
 type options struct {
 	only     string
+	format   string
 	validate bool
 	text     bool
 	lenient  bool
@@ -45,7 +57,8 @@ type options struct {
 
 func main() {
 	var opts options
-	flag.StringVar(&opts.only, "only", "", "print only one result: tableIII, tableIV, tableV, intervals, sharing, fig1..fig4")
+	flag.StringVar(&opts.only, "only", "", "print only one result: tableIII, tableIV, tableV, intervals, sharing, fig1..fig4, transfers")
+	flag.StringVar(&opts.format, "format", "bsd", "trace format: bsd, blockcsv, pageref, strace")
 	flag.BoolVar(&opts.validate, "validate", false, "validate the trace(s) and exit")
 	flag.BoolVar(&opts.text, "text", false, "read the text trace format instead of binary")
 	flag.BoolVar(&opts.lenient, "lenient", false, "repair damaged traces and analyze what survives instead of failing on partial ingest")
@@ -133,7 +146,22 @@ func ingestDamage(path string, rdr *trace.Reader, ls *trace.LenientSource, lenie
 	return nil
 }
 
+// want reports whether the named section should print under -only.
+func (o options) want(name string) bool {
+	return o.only == "" || strings.EqualFold(o.only, name)
+}
+
 func run(w io.Writer, paths []string, opts options) error {
+	if opts.format == "" {
+		opts.format = "bsd"
+	}
+	format, err := adapt.ParseFormat(opts.format)
+	if err != nil {
+		return err
+	}
+	if opts.only != "" && analyzer.SectionMetrics(opts.only) == nil {
+		return fmt.Errorf("unknown section %q", opts.only)
+	}
 	reg := obs.NewRegistry()
 	reg.SetEnabled(opts.manifest != "" || opts.progress)
 	var prog *obs.Progress
@@ -150,6 +178,7 @@ func run(w io.Writer, paths []string, opts options) error {
 			Config: map[string]string{
 				"traces":   strings.Join(paths, ","),
 				"only":     opts.only,
+				"format":   format.String(),
 				"validate": fmt.Sprintf("%t", opts.validate),
 				"text":     fmt.Sprintf("%t", opts.text),
 				"lenient":  fmt.Sprintf("%t", opts.lenient),
@@ -159,6 +188,13 @@ func run(w io.Writer, paths []string, opts options) error {
 			},
 		})
 		return m.WriteFile(opts.manifest)
+	}
+
+	if format != adapt.FormatBSD {
+		if err := runForeign(w, paths, format, opts, reg); err != nil {
+			return err
+		}
+		return writeManifest()
 	}
 
 	tr := report.Traces{}
@@ -258,9 +294,14 @@ func run(w io.Writer, paths []string, opts options) error {
 		return writeManifest()
 	}
 
-	want := func(name string) bool {
-		return opts.only == "" || strings.EqualFold(opts.only, name)
-	}
+	renderSections(w, tr, tops, opts)
+	return writeManifest()
+}
+
+// renderSections prints the logical battery (and any -top listings) for
+// analyzed logical-class traces.
+func renderSections(w io.Writer, tr report.Traces, tops []*analyzer.TopAccum, opts options) {
+	want := opts.want
 	if want("tableIII") {
 		report.TableIII(tr).Render(w)
 	}
@@ -315,5 +356,141 @@ func run(w io.Writer, paths []string, opts options) error {
 			t.Render(w)
 		}
 	}
-	return writeManifest()
+}
+
+// runForeign analyzes foreign traces imported through the adapt package.
+// The adapter's class gates the battery: logical-class imports (strace)
+// get the full Section-5 analysis, block- and page-class imports only
+// the transfer-level sections — asking for a logical section fails with
+// analyzer.ErrUnsupportedClass instead of printing numbers whose
+// open/close structure is adapter scaffolding.
+func runForeign(w io.Writer, paths []string, format adapt.Format, opts options, reg *obs.Registry) error {
+	if opts.text {
+		return fmt.Errorf("-text applies only to -format bsd")
+	}
+	if opts.lenient {
+		return fmt.Errorf("-lenient applies only to -format bsd (foreign adapters fail on damaged lines)")
+	}
+	class := format.Class()
+	if opts.only != "" {
+		if err := analyzer.CheckSection(opts.only, class); err != nil {
+			return err
+		}
+	}
+	if opts.top > 0 && class != trace.ClassLogical {
+		return fmt.Errorf("-top needs logical structure: %w",
+			&analyzer.UnsupportedClassError{Metric: "busiest files", Class: class})
+	}
+
+	tr := report.Traces{}
+	var (
+		names []string
+		tops  []*analyzer.TopAccum
+		sums  []xfer.Summary
+		stats []adapt.Stats
+	)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		asrc, err := adapt.NewSource(format, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		var src trace.Source = asrc
+		if opts.from > 0 || opts.to > 0 {
+			to := trace.Time(math.MaxInt64)
+			if opts.to > 0 {
+				to = trace.Time(opts.to.Milliseconds())
+			}
+			src = trace.WindowSource(src, trace.Time(opts.from.Milliseconds()), to)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		src = reg.Instrument("analyze/"+name, src)
+
+		if opts.validate {
+			v := trace.NewValidator(0)
+			var n int
+			for {
+				e, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					f.Close()
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				v.Check(e)
+				n++
+			}
+			f.Close()
+			unclosed := v.Finish()
+			for _, e := range v.Errs() {
+				fmt.Fprintf(w, "%s: %v\n", path, e)
+			}
+			st := asrc.Stats()
+			fmt.Fprintf(w, "%s: %s import: %s\n", path, format, st.String())
+			fmt.Fprintf(w, "%s: %d events, %d validation errors, %d unclosed opens\n",
+				path, n, len(v.Errs()), unclosed)
+			continue
+		}
+
+		// One pass feeds the tape builder (every class) and, for logical
+		// imports, the Section-5 analyzer.
+		tb := xfer.NewTapeBuilder()
+		var s *analyzer.Stream
+		var top *analyzer.TopAccum
+		if class == trace.ClassLogical {
+			s = analyzer.NewStream(analyzer.Options{})
+			if opts.top > 0 {
+				top = analyzer.NewTopAccum()
+			}
+		}
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			tb.Add(e)
+			if s != nil {
+				s.Feed(e)
+			}
+			if top != nil {
+				top.Feed(e)
+			}
+		}
+		f.Close()
+		tape, err := tb.Finish()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if s != nil {
+			tr.Names = append(tr.Names, name)
+			tr.Analyses = append(tr.Analyses, s.Finish())
+			tops = append(tops, top)
+		}
+		sums = append(sums, xfer.Summarize(tape))
+		stats = append(stats, asrc.Stats())
+		names = append(names, name)
+	}
+	if opts.validate {
+		return nil
+	}
+
+	if class == trace.ClassLogical {
+		renderSections(w, tr, tops, opts)
+	}
+	if opts.want("transfers") {
+		report.TransferSummaryTable(names, sums).Render(w)
+	}
+	if opts.only == "" {
+		report.AdapterStatsTable(names, stats).Render(w)
+	}
+	return nil
 }

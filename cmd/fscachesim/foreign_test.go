@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bsdtrace/internal/cachesim"
+)
+
+func TestBuildTapeForeign(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "trace", "adapt", "testdata", "msr-sample.csv")
+	tape, err := buildTape(path, "blockcsv", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tape.Transfers) == 0 {
+		t.Fatal("foreign tape carries no transfers")
+	}
+
+	// A fitted Table VI sweep over the imported tape renders without NaN.
+	sizes := cachesim.FitCacheSizes(tape, 4096, 4)
+	f, err := os.Create(filepath.Join(t.TempDir(), "vi.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(f, tape, "tableVI", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("fitted sweep output contains NaN:\n%s", out)
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] < cachesim.Footprint(tape, 4096) {
+		t.Errorf("fitted ladder %v does not reach footprint %d", sizes, cachesim.Footprint(tape, 4096))
+	}
+
+	// Unknown formats and lenient foreign builds are refused.
+	if _, err := buildTape(path, "parquet", false, nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := buildTape(path, "blockcsv", true, nil); err == nil {
+		t.Error("lenient foreign build accepted")
+	}
+}

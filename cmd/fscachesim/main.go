@@ -20,6 +20,13 @@
 //
 //	fscachesim -crash-sweep 64 a5.trace            # expected loss per policy
 //	fscachesim -crash-at 2h -policy flush a5.trace # one crash instant
+//
+// Foreign traces import through the adapt package; every simulation
+// consumes reconstructed transfers, so all of them run for any class.
+// The paper's fixed cache-size ladder was chosen for the 1985 traces;
+// -fit rescales it to the trace's own footprint:
+//
+//	fscachesim -format blockcsv -sweep tableVI -fit 6 volume.csv
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"bsdtrace/internal/obs"
 	"bsdtrace/internal/report"
 	"bsdtrace/internal/trace"
+	"bsdtrace/internal/trace/adapt"
 	"bsdtrace/internal/xfer"
 )
 
@@ -62,7 +70,9 @@ func main() {
 		flush    = flag.Duration("flush", 30*time.Second, "flush-back interval (with -policy flush)")
 		replace  = flag.String("replace", "lru", "replacement: lru, fifo, clock, random, arc, 2q, slru, lirs, tinylfu")
 		paging   = flag.Bool("paging", false, "simulate program page-in as whole-file reads")
+		format   = flag.String("format", "bsd", "trace format: bsd, blockcsv, pageref, strace")
 		sweep    = flag.String("sweep", "", "run a paper sweep instead: tableVI, tableVII, fig7, replacement, zoo, tiers, flush")
+		fit      = flag.Int("fit", 0, "with -sweep tableVI/fig7: N-rung cache-size ladder fitted to the trace's footprint instead of the paper's sizes")
 		crashN   = flag.Int("crash-sweep", 0, "sample N crash points; report expected loss per write policy at -cache/-block")
 		crashAt  = flag.Duration("crash-at", 0, "report the data a crash at this trace time would lose (single run)")
 		lenient  = flag.Bool("lenient", false, "repair damaged traces and simulate what survives instead of failing on partial ingest")
@@ -98,7 +108,9 @@ func main() {
 				"flush":   flush.String(),
 				"replace": *replace,
 				"paging":  fmt.Sprintf("%t", *paging),
+				"format":  *format,
 				"sweep":   *sweep,
+				"fit":     fmt.Sprintf("%d", *fit),
 				"lenient": fmt.Sprintf("%t", *lenient),
 			},
 		})
@@ -111,7 +123,7 @@ func main() {
 	// Reconstruct the transfer tape once, streaming the trace file event
 	// by event (the raw events are never materialized); every
 	// configuration below — single run or sweep — replays the same tape.
-	tape, err := buildTape(flag.Arg(0), *lenient, reg)
+	tape, err := buildTape(flag.Arg(0), *format, *lenient, reg)
 	if err != nil {
 		prog.Stop()
 		fmt.Fprintln(os.Stderr, "fscachesim:", err)
@@ -120,7 +132,7 @@ func main() {
 	w := os.Stdout
 
 	if *sweep != "" {
-		if err := runSweep(w, tape, *sweep, reg); err != nil {
+		if err := runSweep(w, tape, *sweep, *fit, reg); err != nil {
 			prog.Stop()
 			fmt.Fprintln(os.Stderr, "fscachesim:", err)
 			os.Exit(1)
@@ -194,11 +206,37 @@ func main() {
 	finish()
 }
 
-// buildTape streams a binary trace file into a transfer tape, under a
+// buildTape streams a trace file into a transfer tape, under a
 // tape-build span when observation is on. A strict build fails on any
 // damage; a lenient one repairs the stream first and reports the
-// budget to stderr.
-func buildTape(path string, lenient bool, reg *obs.Registry) (*xfer.Tape, error) {
+// budget to stderr. Foreign formats import through the adapt package:
+// their transfers are faithful for every trace class, so the resulting
+// tape feeds any simulation below.
+func buildTape(path, format string, lenient bool, reg *obs.Registry) (*xfer.Tape, error) {
+	ff, err := adapt.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if ff != adapt.FormatBSD {
+		if lenient {
+			return nil, fmt.Errorf("-lenient applies only to -format bsd (foreign adapters fail on damaged lines)")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src, err := adapt.NewSource(ff, f)
+		if err != nil {
+			return nil, err
+		}
+		tape, err := xfer.BuildTape(reg.Instrument("tape-build", src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		tape.PublishMetrics(reg, "tape")
+		return tape, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -242,10 +280,19 @@ func buildTape(path string, lenient bool, reg *obs.Registry) (*xfer.Tape, error)
 	return tape, nil
 }
 
-func runSweep(w *os.File, tape *xfer.Tape, name string, reg *obs.Registry) error {
+func runSweep(w *os.File, tape *xfer.Tape, name string, fit int, reg *obs.Registry) error {
+	// ladder picks the cache sizes a sweep runs at: the paper's fixed
+	// ladder by default, or one fitted to the tape's footprint when the
+	// trace (typically a foreign import) lives at a different scale.
+	ladder := func() []int64 {
+		if fit > 0 {
+			return cachesim.FitCacheSizes(tape, 4096, fit)
+		}
+		return cachesim.PaperCacheSizes()
+	}
 	switch strings.ToLower(name) {
 	case "tablevi", "vi":
-		sizes := cachesim.PaperCacheSizes()
+		sizes := ladder()
 		pols := cachesim.PaperPolicies()
 		res, err := cachesim.PolicySweepTape(tape, 4096, sizes, pols)
 		if err != nil {
@@ -267,7 +314,7 @@ func runSweep(w *os.File, tape *xfer.Tape, name string, reg *obs.Registry) error
 		report.TableVII(res).Render(w)
 		return report.Figure6(res).Render(w)
 	case "fig7", "paging":
-		sizes := cachesim.PaperCacheSizes()
+		sizes := ladder()
 		res, err := cachesim.PagingSweepTape(tape, 4096, sizes)
 		if err != nil {
 			return err

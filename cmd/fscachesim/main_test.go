@@ -49,7 +49,7 @@ func TestRunSweeps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := runSweep(f, tape, sweep, nil); err != nil {
+		if err := runSweep(f, tape, sweep, 0, nil); err != nil {
 			t.Fatalf("%s: %v", sweep, err)
 		}
 		f.Close()
@@ -64,7 +64,7 @@ func TestRunSweeps(t *testing.T) {
 			t.Errorf("%s output contains NaN", sweep)
 		}
 	}
-	if err := runSweep(os.Stdout, tape, "nope", nil); err == nil {
+	if err := runSweep(os.Stdout, tape, "nope", 0, nil); err == nil {
 		t.Errorf("unknown sweep accepted")
 	}
 }
@@ -81,7 +81,7 @@ func TestBuildTapeDamaged(t *testing.T) {
 	if err := trace.WriteFile(clean, res.Events); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildTape(clean, false, nil); err != nil {
+	if _, err := buildTape(clean, "bsd", false, nil); err != nil {
 		t.Fatalf("strict build failed on a clean trace: %v", err)
 	}
 
@@ -110,12 +110,12 @@ func TestBuildTapeDamaged(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := buildTape(f.Name(), false, nil); err == nil {
+	if _, err := buildTape(f.Name(), "bsd", false, nil); err == nil {
 		t.Fatal("strict build accepted a damaged trace")
 	} else if !strings.Contains(err.Error(), "-lenient") {
 		t.Fatalf("strict error not actionable: %v", err)
 	}
-	tape, err := buildTape(f.Name(), true, nil)
+	tape, err := buildTape(f.Name(), "bsd", true, nil)
 	if err != nil {
 		t.Fatalf("lenient build failed: %v", err)
 	}

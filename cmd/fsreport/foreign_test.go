@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// foreignGolden pins the blockcsv foreign-mode report byte for byte: the
+// import is deterministic (no seeds, no clocks), so the committed golden
+// must reproduce exactly. Regenerate with BSDTRACE_REGEN_FIXTURES=1.
+const foreignGolden = "testdata/foreign-blockcsv.golden.txt"
+
+func foreignFixture(name string) string {
+	return filepath.Join("..", "..", "internal", "trace", "adapt", "testdata", name)
+}
+
+func foreignBlockCSVReport(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := runForeign(&buf, foreignFixture("msr-sample.csv"), "blockcsv", 6); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRegenForeignGolden(t *testing.T) {
+	if os.Getenv("BSDTRACE_REGEN_FIXTURES") != "1" {
+		t.Skip("set BSDTRACE_REGEN_FIXTURES=1 to rewrite the foreign golden")
+	}
+	out := foreignBlockCSVReport(t)
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(foreignGolden, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeignGoldenBlockCSV holds the blockcsv report to the committed
+// golden and asserts the class gate structurally: only transfer-level
+// sections render, never the logical tables.
+func TestForeignGoldenBlockCSV(t *testing.T) {
+	out := foreignBlockCSVReport(t)
+
+	for _, want := range []string{
+		"block-class metrics",
+		"Foreign-trace import.",
+		"Transfer summary.",
+		"Table VI analogue",
+		"footprint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("foreign report missing %q", want)
+		}
+	}
+	// The logical battery must not render for a block-class trace.
+	for _, banned := range []string{
+		"Table III.", "Table IV.", "Table V.",
+		"Figure 1.", "Figure 2.", "Figure 3.", "Figure 4.",
+		"Sharing between users",
+	} {
+		if strings.Contains(out, banned) {
+			t.Errorf("block-class report rendered logical content %q", banned)
+		}
+	}
+
+	golden, err := os.ReadFile(foreignGolden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with BSDTRACE_REGEN_FIXTURES=1)", err)
+	}
+	if out != string(golden) {
+		t.Errorf("foreign report drifted from %s (regenerate with BSDTRACE_REGEN_FIXTURES=1 and review the diff)", foreignGolden)
+	}
+
+	// Same input must reproduce byte for byte within a run, too.
+	if again := foreignBlockCSVReport(t); again != out {
+		t.Error("foreign report is not deterministic across passes")
+	}
+}
+
+// TestForeignStraceLogical: a logical-class import renders the Section-5
+// tables alongside the transfer sections.
+func TestForeignStraceLogical(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runForeign(&buf, foreignFixture("strace-sample.txt"), "strace", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"logical metrics and transfer metrics", "Table III.", "Table V.", "Transfer summary."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strace report missing %q", want)
+		}
+	}
+}
+
+func TestForeignRejectsBSD(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runForeign(&buf, "whatever.trace", "bsd", 0); err == nil {
+		t.Error("foreign mode accepted -format bsd")
+	}
+	if err := runForeign(&buf, foreignFixture("msr-truncated.csv"), "blockcsv", 0); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed foreign input error = %v, want positioned line-2 failure", err)
+	}
+}

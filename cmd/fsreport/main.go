@@ -25,6 +25,7 @@
 //	fsreport -ablations           # include the beyond-the-paper ablations
 //	fsreport -scale 16 -shards 8  # a 16x fleet, sharded generation
 //	fsreport -cpuprofile cpu.pb.gz   # profile the run
+//	fsreport -input volume.csv -format blockcsv  # report on a foreign trace
 package main
 
 import (
@@ -95,6 +96,9 @@ func main() {
 		stability  = flag.Int("stability", 0, "instead of the report, run the headline metrics across N seeds and print mean ± sd")
 		degrade    = flag.Bool("degrade", false, "instead of the report, run the loss-sensitivity sweep: mangle the A5 trace at increasing loss rates and table the drift of the headline values")
 		lenient    = flag.Bool("lenient", false, "repair damaged traces and report what survives instead of failing on partial ingest")
+		input      = flag.String("input", "", "instead of the synthetic fleet, report on this foreign trace file (requires -format)")
+		format     = flag.String("format", "bsd", "trace format of -input: blockcsv, pageref, strace")
+		fit        = flag.Int("fit", 0, "cache-size ladder rungs for the -input Table VI sweep (default 6, fitted to the trace footprint)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		manifest   = flag.String("manifest", "", "write the run manifest (config, stage spans, metrics) to this file")
@@ -155,6 +159,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *input != "":
+		err = runForeign(w, *input, *format, *fit)
 	case *stability > 0:
 		err = runStability(w, *duration, *seed, *stability)
 	case *degrade:

@@ -1,0 +1,39 @@
+package cachesim
+
+import "bsdtrace/internal/xfer"
+
+// Footprint returns the tape's block footprint at one block size: the
+// number of distinct bytes the cache could ever hold, counted in whole
+// blocks. It is the natural upper rung for a cache-size sweep — any
+// larger cache cannot miss less.
+func Footprint(t *xfer.Tape, blockSize int64) int64 {
+	return int64(resolvedFor(t, blockSize).nBlocks()) * blockSize
+}
+
+// FitCacheSizes builds a cache-size ladder scaled to the tape itself:
+// the top rung is the smallest power-of-two multiple of blockSize that
+// holds the tape's whole footprint, and each rung below halves it, down
+// to at most n rungs (never below one block). The paper's fixed
+// 390 KB..16 MB ladder suits the 1985 traces it was chosen for; a
+// foreign trace imported through the adapt package may touch kilobytes
+// or terabytes, and a fitted ladder keeps its Table VI sweep in the
+// regime where the miss ratio actually moves.
+func FitCacheSizes(t *xfer.Tape, blockSize int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	fp := Footprint(t, blockSize)
+	top := blockSize
+	for top < fp {
+		top <<= 1
+	}
+	var down []int64
+	for s := top; s >= blockSize && len(down) < n; s >>= 1 {
+		down = append(down, s)
+	}
+	// Rungs were collected top-down; sweeps read small-to-large.
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return down
+}

@@ -1,0 +1,110 @@
+package cachesim
+
+import (
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/xfer"
+)
+
+// fitTape builds a tape touching exactly the byte range [0, span) of one
+// file, read sequentially.
+func fitTape(t *testing.T, span int64) *xfer.Tape {
+	t.Helper()
+	tape, err := xfer.NewTape([]trace.Event{
+		{Time: 0, Kind: trace.KindOpen, OpenID: 1, File: 1, User: 1, Mode: trace.ReadOnly, Size: span},
+		{Time: 100, Kind: trace.KindClose, OpenID: 1, NewPos: span},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tape
+}
+
+func TestFootprint(t *testing.T) {
+	// 10000 bytes at 4 KB blocks is three blocks.
+	if got := Footprint(fitTape(t, 10000), 4096); got != 3*4096 {
+		t.Errorf("Footprint = %d, want %d", got, 3*4096)
+	}
+	empty, err := xfer.NewTape(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Footprint(empty, 4096); got != 0 {
+		t.Errorf("empty Footprint = %d, want 0", got)
+	}
+}
+
+func TestFitCacheSizes(t *testing.T) {
+	// Footprint 3 blocks = 12288 bytes; top rung is the next power-of-two
+	// multiple of the block size, 16384.
+	tape := fitTape(t, 10000)
+	got := FitCacheSizes(tape, 4096, 3)
+	want := []int64{4096, 8192, 16384}
+	if len(got) != len(want) {
+		t.Fatalf("FitCacheSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FitCacheSizes = %v, want %v", got, want)
+		}
+	}
+
+	// More rungs than the span allows: stops at one block.
+	got = FitCacheSizes(tape, 4096, 10)
+	if len(got) != 3 || got[0] != 4096 {
+		t.Errorf("over-asked ladder = %v, want floor at one block with 3 rungs", got)
+	}
+
+	// The top rung always holds the whole footprint.
+	big := fitTape(t, 1<<24) // 16 MB
+	got = FitCacheSizes(big, 4096, 4)
+	if top := got[len(got)-1]; top < Footprint(big, 4096) {
+		t.Errorf("top rung %d below footprint %d", top, Footprint(big, 4096))
+	}
+
+	// An empty tape still yields a usable (single-block) ladder.
+	empty, err := xfer.NewTape(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = FitCacheSizes(empty, 4096, 4)
+	if len(got) != 1 || got[0] != 4096 {
+		t.Errorf("empty-tape ladder = %v, want [4096]", got)
+	}
+}
+
+// TestFitCacheSizesSweep drives a fitted ladder through the Table VI
+// sweep: the top rung must reach the compulsory-miss floor, and the miss
+// ratio must be monotone nonincreasing up the ladder.
+func TestFitCacheSizesSweep(t *testing.T) {
+	// One file re-read three times: plenty of reuse for a cache to find.
+	var events []trace.Event
+	for i := 0; i < 3; i++ {
+		events = append(events,
+			trace.Event{Time: trace.Time(i * 1000), Kind: trace.KindOpen, OpenID: trace.OpenID(i + 1), File: 1, User: 1, Mode: trace.ReadOnly, Size: 1 << 16},
+			trace.Event{Time: trace.Time(i*1000 + 500), Kind: trace.KindClose, OpenID: trace.OpenID(i + 1), NewPos: 1 << 16},
+		)
+	}
+	tape, err := xfer.NewTape(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := FitCacheSizes(tape, 4096, 5)
+	rs, err := PolicySweepTape(tape, 4096, sizes, []PolicySpec{{Name: "Delayed Write", Write: DelayedWrite}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	for i, row := range rs {
+		mr := row[0].MissRatio()
+		if mr > prev {
+			t.Errorf("miss ratio rose from %v to %v at rung %d", prev, mr, i)
+		}
+		prev = mr
+	}
+	// 16 blocks read 3 times each = 48 accesses, 16 compulsory misses.
+	if got, want := prev, 16.0/48; got != want {
+		t.Errorf("top-rung miss ratio = %v, want compulsory floor %v", got, want)
+	}
+}

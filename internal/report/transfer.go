@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+
+	"bsdtrace/internal/trace/adapt"
+	"bsdtrace/internal/xfer"
+)
+
+// This file renders the transfer-level battery: the sections that remain
+// meaningful for foreign block and page traces, whose open/close events
+// are adapter scaffolding rather than observed logical behavior. The
+// logical tables (III-V, the figures) stay with the paper builders and
+// are gated by analyzer.LogicalMetrics.
+
+// TransferSummaryTable renders one tape summary per trace: volume,
+// direction, and rates — the headline block every trace class supports.
+func TransferSummaryTable(names []string, sums []xfer.Summary) *Table {
+	t := &Table{
+		Title:  "Transfer summary.",
+		Header: []string{"Item", "Total"},
+		Note: "Reconstructed block traffic only; no logical open/close structure " +
+			"is interpreted, so these rows are valid for foreign block and page " +
+			"traces as well as native logical ones.",
+	}
+	if len(names) > 1 {
+		t.Header = append([]string{"Item"}, names...)
+	}
+	row := func(item string, cell func(s xfer.Summary) string) {
+		cells := []string{item}
+		for _, s := range sums {
+			cells = append(cells, cell(s))
+		}
+		t.AddRow(cells...)
+	}
+	row("Duration (seconds)", func(s xfer.Summary) string {
+		return fmt.Sprintf("%.1f", s.Duration.Seconds())
+	})
+	row("Transfers (read / write)", func(s xfer.Summary) string {
+		return fmt.Sprintf("%s / %s", Count(s.ReadRequests), Count(s.WriteRequests))
+	})
+	row("Bytes read", func(s xfer.Summary) string { return Count(s.BytesRead) })
+	row("Bytes written", func(s xfer.Summary) string { return Count(s.BytesWritten) })
+	row("Write fraction of bytes", func(s xfer.Summary) string { return Pct(s.WriteFraction()) })
+	row("Throughput (bytes/sec)", func(s xfer.Summary) string {
+		return fmt.Sprintf("%.0f", s.Throughput())
+	})
+	row("Transfers/sec", func(s xfer.Summary) string {
+		return fmt.Sprintf("%.2f", s.RequestRate())
+	})
+	row("Distinct files", func(s xfer.Summary) string { return Count(s.Files) })
+	row("Largest transfer", func(s xfer.Summary) string { return Count(s.MaxRequest) })
+	row("Purges (unlink/truncate/overwrite)", func(s xfer.Summary) string { return Count(s.Purges) })
+	return t
+}
+
+// AdapterStatsTable renders the import accounting of foreign traces:
+// what each adapter consumed, emitted, and refused.
+func AdapterStatsTable(names []string, stats []adapt.Stats) *Table {
+	t := &Table{
+		Title:  "Foreign-trace import.",
+		Header: []string{"Item", "Total"},
+		Note: "Per-adapter accounting: every input line is a record, a skip, or " +
+			"a warmup-filtered read. Clamped times count foreign timestamps that " +
+			"ran backwards and were pulled up to preserve trace order.",
+	}
+	if len(names) > 1 {
+		t.Header = append([]string{"Item"}, names...)
+	}
+	row := func(item string, cell func(s adapt.Stats) string) {
+		cells := []string{item}
+		for _, s := range stats {
+			cells = append(cells, cell(s))
+		}
+		t.AddRow(cells...)
+	}
+	row("Input lines", func(s adapt.Stats) string { return Count(s.Lines) })
+	row("Records imported", func(s adapt.Stats) string { return Count(s.Records) })
+	row("Events emitted", func(s adapt.Stats) string { return Count(s.Events) })
+	row("Lines skipped", func(s adapt.Stats) string { return Count(s.Skipped) })
+	row("Warmup reads dropped", func(s adapt.Stats) string { return Count(s.SkippedReads) })
+	row("Timestamps clamped", func(s adapt.Stats) string { return Count(s.ClampedTimes) })
+	return t
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"bsdtrace/internal/trace"
+	"bsdtrace/internal/trace/adapt"
+	"bsdtrace/internal/xfer"
+)
+
+func TestTransferSummaryTable(t *testing.T) {
+	tape, err := xfer.NewTape([]trace.Event{
+		{Time: 0, Kind: trace.KindOpen, OpenID: 1, File: 1, User: 1, Mode: trace.ReadOnly, Size: 4096},
+		{Time: 2000, Kind: trace.KindClose, OpenID: 1, NewPos: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := TransferSummaryTable([]string{"sample"}, []xfer.Summary{xfer.Summarize(tape)})
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Transfer summary.", "Bytes read", "4,096", "Throughput", "2048"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdapterStatsTable(t *testing.T) {
+	tbl := AdapterStatsTable([]string{"sample"}, []adapt.Stats{{
+		Lines: 12, Records: 9, Events: 27, Skipped: 2, SkippedReads: 1, ClampedTimes: 3,
+	}})
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Foreign-trace import.", "Records imported", "27", "Warmup reads dropped", "Timestamps clamped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

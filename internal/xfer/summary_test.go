@@ -1,0 +1,72 @@
+package xfer
+
+import (
+	"testing"
+
+	"bsdtrace/internal/trace"
+)
+
+func TestSummarize(t *testing.T) {
+	// Two files: one read sequentially, one created and written, then
+	// unlinked; plus an exec.
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindOpen, OpenID: 1, File: 1, User: 1, Mode: trace.ReadOnly, Size: 8192},
+		{Time: 100, Kind: trace.KindClose, OpenID: 1, NewPos: 8192},
+		{Time: 200, Kind: trace.KindCreate, OpenID: 2, File: 2, User: 2, Mode: trace.WriteOnly},
+		{Time: 300, Kind: trace.KindClose, OpenID: 2, NewPos: 4096},
+		{Time: 400, Kind: trace.KindExec, File: 3, User: 1, Size: 1024},
+		{Time: 500, Kind: trace.KindUnlink, File: 2},
+	}
+	tape, err := NewTape(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tape)
+
+	if s.Duration != 500 {
+		t.Errorf("Duration = %v, want 500", s.Duration)
+	}
+	// Reads: the 8192 sequential read plus the 1024 exec.
+	if s.ReadRequests != 2 || s.BytesRead != 8192+1024 {
+		t.Errorf("reads = %d requests / %d bytes, want 2 / 9216", s.ReadRequests, s.BytesRead)
+	}
+	if s.Execs != 1 {
+		t.Errorf("Execs = %d, want 1", s.Execs)
+	}
+	if s.WriteRequests != 1 || s.BytesWritten != 4096 {
+		t.Errorf("writes = %d requests / %d bytes, want 1 / 4096", s.WriteRequests, s.BytesWritten)
+	}
+	// Purges: the overwriting create and the unlink.
+	if s.Purges != 2 {
+		t.Errorf("Purges = %d, want 2", s.Purges)
+	}
+	if s.Files != 3 {
+		t.Errorf("Files = %d, want 3", s.Files)
+	}
+	if s.MaxRequest != 8192 {
+		t.Errorf("MaxRequest = %d, want 8192", s.MaxRequest)
+	}
+	if s.Requests() != 3 || s.BytesTransferred() != 13312 {
+		t.Errorf("totals = %d requests / %d bytes, want 3 / 13312", s.Requests(), s.BytesTransferred())
+	}
+	if got, want := s.Throughput(), 13312/0.5; got != want {
+		t.Errorf("Throughput = %v, want %v", got, want)
+	}
+	if got, want := s.RequestRate(), 3/0.5; got != want {
+		t.Errorf("RequestRate = %v, want %v", got, want)
+	}
+	if got, want := s.WriteFraction(), 4096.0/13312; got != want {
+		t.Errorf("WriteFraction = %v, want %v", got, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	tape, err := NewTape(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tape)
+	if s.Requests() != 0 || s.BytesTransferred() != 0 || s.Throughput() != 0 || s.RequestRate() != 0 || s.WriteFraction() != 0 {
+		t.Errorf("empty tape summary not all-zero: %+v", s)
+	}
+}
